@@ -1,0 +1,100 @@
+// Package-level benchmarks: one per reproduced figure/table (DESIGN.md
+// §2). Each benchmark executes the corresponding experiment driver at a
+// reduced scale per iteration — wall time is the cost of regenerating
+// that result. Run the full-scale versions with cmd/ddbench:
+//
+//	go test -bench=BenchmarkC8 -benchmem          # quick shape check
+//	go run ./cmd/ddbench -run C8 -scale 1         # paper-scale tables
+package datadroplets
+
+import (
+	"testing"
+
+	"datadroplets/internal/experiments"
+)
+
+// benchScale keeps per-iteration cost low; the drivers clamp populations
+// to statistically meaningful minimums.
+const benchScale = 0.05
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, experiments.Params{
+			Scale: benchScale,
+			Seed:  int64(1000 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 {
+			b.Fatal("no tables produced")
+		}
+	}
+}
+
+// BenchmarkF1Architecture regenerates the Figure 1 full-stack exercise.
+func BenchmarkF1Architecture(b *testing.B) { runExperiment(b, "F1") }
+
+// BenchmarkC1AtomicInfection regenerates P(atomic) vs c (the ln(N)+c law).
+func BenchmarkC1AtomicInfection(b *testing.B) { runExperiment(b, "C1") }
+
+// BenchmarkC2WorkedExample regenerates the N=50000, c=7 worked example.
+func BenchmarkC2WorkedExample(b *testing.B) { runExperiment(b, "C2") }
+
+// BenchmarkC3Tradeoff regenerates the effort/coverage/redundancy curve.
+func BenchmarkC3Tradeoff(b *testing.B) { runExperiment(b, "C3") }
+
+// BenchmarkC4Sieve regenerates sieve balance/coverage/heterogeneity.
+func BenchmarkC4Sieve(b *testing.B) { runExperiment(b, "C4") }
+
+// BenchmarkC5SizeEstimation regenerates extrema-propagation accuracy.
+func BenchmarkC5SizeEstimation(b *testing.B) { runExperiment(b, "C5") }
+
+// BenchmarkC6RandomWalk regenerates walk-based replica estimation.
+func BenchmarkC6RandomWalk(b *testing.B) { runExperiment(b, "C6") }
+
+// BenchmarkC7Repair regenerates redundancy maintenance under churn.
+func BenchmarkC7Repair(b *testing.B) { runExperiment(b, "C7") }
+
+// BenchmarkC8ChurnAvailability regenerates epidemic vs structured DHT.
+func BenchmarkC8ChurnAvailability(b *testing.B) { runExperiment(b, "C8") }
+
+// BenchmarkC9Distribution regenerates gossip distribution estimation.
+func BenchmarkC9Distribution(b *testing.B) { runExperiment(b, "C9") }
+
+// BenchmarkC10Collocation regenerates placement-family comparison.
+func BenchmarkC10Collocation(b *testing.B) { runExperiment(b, "C10") }
+
+// BenchmarkC11Ordering regenerates ordered-overlay convergence and scans.
+func BenchmarkC11Ordering(b *testing.B) { runExperiment(b, "C11") }
+
+// BenchmarkC12Aggregation regenerates push-sum accuracy under churn.
+func BenchmarkC12Aggregation(b *testing.B) { runExperiment(b, "C12") }
+
+// BenchmarkC13Cache regenerates the soft-state cache hit-ratio study.
+func BenchmarkC13Cache(b *testing.B) { runExperiment(b, "C13") }
+
+// BenchmarkC14Recovery regenerates soft-state metadata reconstruction.
+func BenchmarkC14Recovery(b *testing.B) { runExperiment(b, "C14") }
+
+// BenchmarkPutGet measures the end-to-end client path of the public API
+// (per-operation cost on an in-process 32-node cluster).
+func BenchmarkPutGet(b *testing.B) {
+	c := New(WithNodes(32), WithSoftNodes(2), WithReplication(3),
+		WithFanoutC(2), WithSeed(99))
+	defer c.Close()
+	c.Advance(20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := "bench-key"
+		if err := c.Put(key, []byte("value"), nil, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command ddbench regenerates the paper-reproduction experiments (F1,
+// C1..C14 — see DESIGN.md §2). Each experiment prints fixed-width tables
+// with the rows/series the corresponding claim predicts, and optionally
+// writes CSV files.
+//
+// Usage:
+//
+//	ddbench -run all -scale 0.2            # quick pass over everything
+//	ddbench -run C8 -scale 1 -seed 7       # full-scale churn comparison
+//	ddbench -run C1,C2,C3 -csv out/        # dissemination suite + CSVs
+//	ddbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"datadroplets/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		scale = flag.Float64("scale", 0.25, "population/trial scale (1.0 = paper scale)")
+		seed  = flag.Int64("seed", 42, "random seed")
+		csv   = flag.String("csv", "", "directory to write per-table CSV files (optional)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	if *run == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	if *csv != "" {
+		if err := os.MkdirAll(*csv, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	params := experiments.Params{Scale: *scale, Seed: *seed}
+	exit := 0
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("%s(%.1fs)\n", res.String(), time.Since(start).Seconds())
+		if *csv != "" {
+			for i, tb := range res.Tables {
+				name := filepath.Join(*csv, fmt.Sprintf("%s_%d.csv", id, i))
+				if err := os.WriteFile(name, []byte(tb.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "ddbench: write %s: %v\n", name, err)
+					exit = 1
+				}
+			}
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,118 @@
+// Command ddsim runs a free-form epidemic-layer simulation and prints
+// round-by-round metrics: alive nodes, size estimates, per-key replica
+// statistics, and fabric traffic. It is the exploratory companion to
+// ddbench's fixed experiments.
+//
+// Usage:
+//
+//	ddsim -nodes 1000 -keys 500 -rounds 300 -churn moderate -r 3 -c 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"datadroplets/internal/epidemic"
+	"datadroplets/internal/membership"
+	"datadroplets/internal/metrics"
+	"datadroplets/internal/node"
+	"datadroplets/internal/repair"
+	"datadroplets/internal/sim"
+	"datadroplets/internal/tuple"
+	"datadroplets/internal/workload"
+)
+
+func main() {
+	var (
+		nodes  = flag.Int("nodes", 500, "persistent-layer population")
+		keys   = flag.Int("keys", 200, "tuples to write")
+		rounds = flag.Int("rounds", 200, "rounds to simulate after load")
+		churn  = flag.String("churn", "none", "churn preset: none|low|moderate|high")
+		r      = flag.Int("r", 3, "replication factor")
+		c      = flag.Float64("c", 2, "fanout constant (fanout = ln N + c)")
+		loss   = flag.Float64("loss", 0, "message loss probability")
+		seed   = flag.Int64("seed", 1, "random seed")
+		every  = flag.Int("report", 25, "reporting interval in rounds")
+	)
+	flag.Parse()
+
+	net := sim.New(sim.Config{Seed: *seed, Loss: *loss})
+	cfg := epidemic.Config{
+		Replication: *r, FanoutC: *c, AntiEntropyEvery: 10,
+		Repair: repair.Config{CheckEvery: 5, Grace: 12},
+	}
+	var ids []node.ID
+	machines := map[node.ID]*epidemic.Node{}
+	pop := func() []node.ID { return ids }
+	spawn := func(id node.ID, rng *rand.Rand) sim.Machine {
+		en := epidemic.New(id, rng, membership.NewUniformView(id, rng, pop), cfg)
+		machines[id] = en
+		return en
+	}
+	for i := 0; i < *nodes; i++ {
+		ids = append(ids, net.Spawn(spawn))
+	}
+	net.Run(30) // estimator warm-up
+
+	for i := 0; i < *keys; i++ {
+		origin := machines[ids[i%len(ids)]]
+		net.Emit(origin.Self, origin.Write(net.Round(), &tuple.Tuple{
+			Key: workload.Key(i), Value: []byte("v"),
+			Version: tuple.Version{Seq: 1, Writer: 1},
+		}))
+	}
+	net.Run(20)
+
+	cc := workload.ChurnConfig(workload.ChurnPreset(*churn))
+	cc.Spawn = func(id node.ID, rng *rand.Rand) sim.Machine {
+		m := spawn(id, rng)
+		ids = append(ids, id)
+		return m
+	}
+	cc.JoinPerRound = cc.PermanentPerRound * float64(*nodes)
+	ch := sim.NewChurner(net, cc, *seed+1)
+
+	fmt.Printf("round  alive  N-est   repl(mean/min)  avail   sent\n")
+	report := func() {
+		reps := metrics.NewDist(*keys)
+		avail := 0
+		for i := 0; i < *keys; i++ {
+			h := 0
+			for _, id := range ids {
+				if net.Alive(id) {
+					if _, ok := machines[id].St.Get(workload.Key(i)); ok {
+						h++
+					}
+				}
+			}
+			reps.Observe(float64(h))
+			if h > 0 {
+				avail++
+			}
+		}
+		var est float64
+		for _, id := range ids {
+			if net.Alive(id) {
+				est = machines[id].NEstimate()
+				break
+			}
+		}
+		fmt.Printf("%5d  %5d  %6.0f  %5.2f/%1.0f        %5.3f  %d\n",
+			int(net.Round()), net.Size(), est, reps.Mean(), reps.Min(),
+			float64(avail)/float64(*keys), net.Stats.Sent.Value())
+	}
+	report()
+	for i := 0; i < *rounds; i++ {
+		ch.Step()
+		net.Step()
+		if (i+1)%*every == 0 {
+			report()
+		}
+	}
+	if net.Size() == 0 {
+		fmt.Fprintln(os.Stderr, "ddsim: population extinct")
+		os.Exit(1)
+	}
+}

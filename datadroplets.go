@@ -1,0 +1,252 @@
+// Package datadroplets is an epidemic key-value substrate: a Go
+// implementation of the DataDroplets architecture from "An epidemic
+// approach to dependable key-value substrates" (Matos, Vilaça, Pereira,
+// Oliveira — DSN 2011).
+//
+// The system has two layers. A small structured soft-state layer orders
+// writes (per-key versions), caches tuples and keeps routing metadata in
+// memory. The persistent layer is fully unstructured: writes spread by
+// epidemic dissemination with fanout ln(N̂)+c, every node applies a local
+// sieve to decide what it stores (target redundancy r), and redundancy
+// is maintained probabilistically with random-walk range checks and
+// direct peer synchronisation — no global membership, no master, no DHT
+// in the data path.
+//
+// Quickstart:
+//
+//	c := datadroplets.New(datadroplets.WithNodes(32), datadroplets.WithReplication(3))
+//	defer c.Close()
+//	c.Advance(20) // let estimators warm up
+//	_ = c.Put("user:1", []byte("alice"), nil, nil)
+//	t, _ := c.Get("user:1")
+//	fmt.Println(string(t.Value))
+//
+// The cluster runs in-process on a deterministic round-driven fabric:
+// Advance moves background protocols (gossip, repair, estimation) along,
+// while Put/Get/Scan/Aggregate step automatically until their operation
+// completes. Use cmd/datadroplets for a TCP-networked node.
+package datadroplets
+
+import (
+	"datadroplets/internal/core"
+	"datadroplets/internal/epidemic"
+	"datadroplets/internal/node"
+	"datadroplets/internal/tuple"
+)
+
+// Tuple is the public record type: a key, an opaque value, numeric
+// attributes (placement, scans, aggregation) and correlation tags.
+type Tuple = tuple.Tuple
+
+// Version orders writes to one key.
+type Version = tuple.Version
+
+// AggResult carries aggregate estimates for one attribute. Sum/Avg come
+// from push-sum gossip; Count (when non-zero) is the KMV distinct tuple
+// count, which is immune to replication duplicates.
+type AggResult struct {
+	Avg, Min, Max, Sum float64
+	Count              float64
+	NEstimate          float64
+}
+
+// Sentinel errors re-exported from the engine.
+var (
+	ErrNotFound = core.ErrNotFound
+	ErrTimeout  = core.ErrTimeout
+)
+
+type config struct {
+	cluster core.ClusterConfig
+}
+
+// Option configures a Cluster.
+type Option func(*config)
+
+// WithNodes sets the persistent-layer size.
+func WithNodes(n int) Option {
+	return func(c *config) { c.cluster.PersistentNodes = n }
+}
+
+// WithSoftNodes sets the soft-state layer size.
+func WithSoftNodes(n int) Option {
+	return func(c *config) { c.cluster.SoftNodes = n }
+}
+
+// WithReplication sets the target copy count r.
+func WithReplication(r int) Option {
+	return func(c *config) { c.cluster.Persist.Replication = r }
+}
+
+// WithFanoutC sets the c in the dissemination fanout ln(N̂)+c.
+func WithFanoutC(fc float64) Option {
+	return func(c *config) { c.cluster.Persist.FanoutC = fc }
+}
+
+// WithSeed makes the deployment reproducible.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.cluster.Seed = seed }
+}
+
+// WithLoss sets the message loss probability of the fabric.
+func WithLoss(p float64) Option {
+	return func(c *config) { c.cluster.Loss = p }
+}
+
+// WithQuantileSieve enables distribution-aware placement and ordered
+// range scans over attr.
+func WithQuantileSieve(attr string) Option {
+	return func(c *config) {
+		c.cluster.Persist.Sieve = epidemic.SieveQuantile
+		c.cluster.Persist.QuantileAttr = attr
+		c.cluster.Persist.OrderAttr = true
+	}
+}
+
+// WithTagSieve collocates tuples by primary tag.
+func WithTagSieve() Option {
+	return func(c *config) { c.cluster.Persist.Sieve = epidemic.SieveTag }
+}
+
+// WithAggregates enables continuous push-sum aggregation of the given
+// attributes (use "count" for tuple counting). Counting additionally
+// enables the duplicate-insensitive KMV sketch so the count is exact
+// with respect to replication (unless a quantile sieve already claims
+// the distribution estimator for its own attribute).
+func WithAggregates(attrs ...string) Option {
+	return func(c *config) {
+		c.cluster.Persist.AggregateAttrs = attrs
+		for _, a := range attrs {
+			if a == "count" && c.cluster.Persist.QuantileAttr == "" {
+				c.cluster.Persist.EstimateAttr = "count"
+			}
+		}
+	}
+}
+
+// WithCacheSize sets the per-soft-node tuple cache capacity.
+func WithCacheSize(n int) Option {
+	return func(c *config) { c.cluster.Soft.CacheSize = n }
+}
+
+// WithAntiEntropy enables gossip digest repair every `rounds` rounds.
+func WithAntiEntropy(rounds int) Option {
+	return func(c *config) { c.cluster.Persist.AntiEntropyEvery = rounds }
+}
+
+// WithWriteAcks makes Put wait for n storage acknowledgements.
+func WithWriteAcks(n int) Option {
+	return func(c *config) { c.cluster.Soft.WriteAcks = n }
+}
+
+// Cluster is an in-process DataDroplets deployment.
+type Cluster struct {
+	inner *core.Cluster
+}
+
+// New builds and boots a cluster. Call Advance(≈20) before the first
+// write so the size and distribution estimators have converged.
+func New(opts ...Option) *Cluster {
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Cluster{inner: core.NewCluster(cfg.cluster)}
+}
+
+// Advance runs the background protocols for n rounds.
+func (c *Cluster) Advance(n int) { c.inner.Run(n) }
+
+// Put stores value (and optional attributes/tags) under key, waiting for
+// the configured number of storage acknowledgements.
+func (c *Cluster) Put(key string, value []byte, attrs map[string]float64, tags []string) error {
+	return c.inner.Put(key, value, attrs, tags)
+}
+
+// Get returns the latest tuple for key, or ErrNotFound.
+func (c *Cluster) Get(key string) (*Tuple, error) {
+	return c.inner.Get(key)
+}
+
+// Delete tombstones key.
+func (c *Cluster) Delete(key string) error {
+	return c.inner.Delete(key)
+}
+
+// Scan returns tuples whose quantile attribute lies in [lo, hi], walking
+// the ordered overlay.
+func (c *Cluster) Scan(attr string, lo, hi float64) ([]*Tuple, error) {
+	return c.inner.Scan(attr, lo, hi, 200)
+}
+
+// Aggregate returns the continuous aggregate estimates for attr.
+func (c *Cluster) Aggregate(attr string) (AggResult, error) {
+	resp, err := c.inner.Aggregate(attr)
+	if err != nil {
+		return AggResult{}, err
+	}
+	return AggResult{
+		Avg: resp.Avg, Min: resp.Min, Max: resp.Max, Sum: resp.Sum,
+		Count: resp.Count, NEstimate: resp.NEstimate,
+	}, nil
+}
+
+// KillNode takes a persistent node down (transient when permanent is
+// false) — failure injection for demos and tests.
+func (c *Cluster) KillNode(index int, permanent bool) {
+	ids := c.inner.PersistentIDs()
+	if index >= 0 && index < len(ids) {
+		c.inner.Net.Kill(ids[index], permanent)
+	}
+}
+
+// ReviveNode brings a transiently failed persistent node back.
+func (c *Cluster) ReviveNode(index int) {
+	ids := c.inner.PersistentIDs()
+	if index >= 0 && index < len(ids) {
+		c.inner.Net.Revive(ids[index])
+	}
+}
+
+// Holders reports how many alive persistent nodes store key.
+func (c *Cluster) Holders(key string) int {
+	return c.inner.PersistentHolders(key)
+}
+
+// Nodes returns the persistent-layer size (alive).
+func (c *Cluster) Nodes() int {
+	n := 0
+	for _, id := range c.inner.PersistentIDs() {
+		if c.inner.Net.Alive(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// NEstimate returns one node's current epidemic estimate of the system
+// size.
+func (c *Cluster) NEstimate() float64 {
+	for _, id := range c.inner.PersistentIDs() {
+		if c.inner.Net.Alive(id) {
+			return c.inner.Pers[id].NEstimate()
+		}
+	}
+	return 0
+}
+
+// WipeSoftLayer simulates catastrophic soft-state loss.
+func (c *Cluster) WipeSoftLayer() { c.inner.WipeSoftLayer() }
+
+// RecoverSoftLayer rebuilds soft-state metadata from the persistent
+// layer; returns the number of recovered keys.
+func (c *Cluster) RecoverSoftLayer() (int, error) {
+	return c.inner.RecoverSoftLayer(8, 1<<20, 200)
+}
+
+// Close releases the cluster. Present for API symmetry; the in-process
+// fabric holds no external resources.
+func (c *Cluster) Close() {}
+
+// NodeID is re-exported for tooling that inspects per-node state.
+type NodeID = node.ID

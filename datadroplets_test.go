@@ -1,0 +1,95 @@
+package datadroplets
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	c := New(WithNodes(24), WithSoftNodes(2), WithReplication(3), WithSeed(1),
+		WithFanoutC(3), WithAntiEntropy(5))
+	defer c.Close()
+	c.Advance(15)
+	if err := c.Put("user:1", []byte("alice"), nil, nil); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := c.Get("user:1")
+	if err != nil || string(got.Value) != "alice" {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if err := c.Delete("user:1"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := c.Get("user:1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("post-delete err = %v", err)
+	}
+}
+
+func TestFacadeFailureInjection(t *testing.T) {
+	c := New(WithNodes(30), WithReplication(4), WithSeed(2), WithFanoutC(3))
+	defer c.Close()
+	c.Advance(15)
+	if err := c.Put("k", []byte("v"), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(10)
+	if c.Holders("k") == 0 {
+		t.Fatal("no holders")
+	}
+	before := c.Nodes()
+	c.KillNode(0, false)
+	if c.Nodes() != before-1 {
+		t.Fatal("kill had no effect")
+	}
+	c.ReviveNode(0)
+	if c.Nodes() != before {
+		t.Fatal("revive had no effect")
+	}
+}
+
+func TestFacadeAggregates(t *testing.T) {
+	c := New(WithNodes(30), WithReplication(3), WithSeed(3), WithFanoutC(3),
+		WithAggregates("count"))
+	defer c.Close()
+	c.Advance(15)
+	for i := 0; i < 20; i++ {
+		if err := c.Put(fmt.Sprintf("k-%d", i), []byte("v"), nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Advance(40)
+	agg, err := c.Aggregate("count")
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if agg.Sum < 10 || agg.Sum > 40 {
+		t.Fatalf("count = %v, want ≈20", agg.Sum)
+	}
+	if agg.NEstimate < 15 || agg.NEstimate > 60 {
+		t.Fatalf("NEstimate = %v, want ≈30", agg.NEstimate)
+	}
+}
+
+func TestFacadeRecovery(t *testing.T) {
+	c := New(WithNodes(24), WithReplication(3), WithSeed(4), WithFanoutC(3))
+	defer c.Close()
+	c.Advance(15)
+	for i := 0; i < 10; i++ {
+		if err := c.Put(fmt.Sprintf("k-%d", i), []byte("v"), nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Advance(10)
+	c.WipeSoftLayer()
+	n, err := c.RecoverSoftLayer()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("nothing recovered")
+	}
+	if _, err := c.Get("k-5"); err != nil {
+		t.Fatalf("Get after recovery: %v", err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package aggregate implements gossip-based aggregation after Jelasity,
+// Montresor & Babaoglu (TOCS'05 — the paper's [37]), providing the
+// "simple summaries such as counts or maximums" §III-C promises clients.
+//
+// The core is push-sum (Kempe et al.): each node holds a (sum, weight)
+// pair; every round it keeps half and pushes half to a random peer. The
+// invariant is mass conservation — Σsums and Σweights never change — so
+// every node's sum/weight ratio converges exponentially fast to the
+// global average. Extrema (min/max) piggyback on the same exchanges since
+// they are idempotent merges.
+//
+// Churn breaks mass conservation (a crashed node takes its mass along),
+// which is why the protocol runs in epochs that periodically restart from
+// local values — the error this leaves behind is measured in C12.
+package aggregate
+
+import (
+	"math/rand"
+
+	"datadroplets/internal/membership"
+	"datadroplets/internal/node"
+	"datadroplets/internal/sim"
+)
+
+// Config tunes an Aggregator.
+type Config struct {
+	// Attr names the aggregated quantity; exchanges carry it so several
+	// aggregations can share one transport.
+	Attr string
+	// Value returns the node's local measurement at each epoch start
+	// (e.g. count of locally stored tuples, or a stored attribute sum).
+	Value func() float64
+	// Extremes optionally returns the node's local per-item minimum and
+	// maximum at epoch start (ok=false when the node holds no items).
+	// When nil, Value() doubles as both extremes — correct only when
+	// the aggregated quantity is itself a single measurement.
+	Extremes func() (min, max float64, ok bool)
+	// EpochLen is the restart period in rounds. Zero means 30.
+	EpochLen int
+}
+
+// Mass is the push-sum message.
+type Mass struct {
+	Attr   string
+	Epoch  uint64
+	Sum    float64
+	Weight float64
+	Min    float64
+	Max    float64
+	HasExt bool // Min/Max valid (sender had observed at least one value)
+}
+
+// Aggregator is the per-node machine for one aggregated attribute.
+type Aggregator struct {
+	self    node.ID
+	rng     *rand.Rand
+	sampler membership.Sampler
+	cfg     Config
+
+	epoch  uint64
+	sum    float64
+	weight float64
+	min    float64
+	max    float64
+	hasExt bool
+
+	// settled* freeze the previous epoch's converged answers.
+	settledAvg float64
+	settledMin float64
+	settledMax float64
+	hasSettled bool
+}
+
+var _ sim.Machine = (*Aggregator)(nil)
+
+// New builds an aggregator.
+func New(self node.ID, rng *rand.Rand, sampler membership.Sampler, cfg Config) *Aggregator {
+	if cfg.EpochLen <= 0 {
+		cfg.EpochLen = 30
+	}
+	return &Aggregator{self: self, rng: rng, sampler: sampler, cfg: cfg}
+}
+
+func (a *Aggregator) epochFor(now sim.Round) uint64 {
+	return uint64(now) / uint64(a.cfg.EpochLen)
+}
+
+func (a *Aggregator) reseed(epoch uint64) {
+	if a.weight > 0 {
+		a.settledAvg = a.sum / a.weight
+		a.settledMin = a.min
+		a.settledMax = a.max
+		a.hasSettled = a.hasExt
+	}
+	a.epoch = epoch
+	v := 0.0
+	if a.cfg.Value != nil {
+		v = a.cfg.Value()
+	}
+	a.sum = v
+	a.weight = 1
+	if a.cfg.Extremes != nil {
+		a.min, a.max, a.hasExt = a.cfg.Extremes()
+	} else {
+		a.min, a.max, a.hasExt = v, v, true
+	}
+}
+
+// Start implements sim.Machine.
+func (a *Aggregator) Start(now sim.Round) []sim.Envelope {
+	a.reseed(a.epochFor(now))
+	return nil
+}
+
+// Tick implements sim.Machine: push half the mass to one random peer.
+func (a *Aggregator) Tick(now sim.Round) []sim.Envelope {
+	if ep := a.epochFor(now); ep != a.epoch {
+		a.reseed(ep)
+	}
+	peer := a.sampler.One()
+	if peer == node.None {
+		return nil
+	}
+	a.sum /= 2
+	a.weight /= 2
+	return []sim.Envelope{{To: peer, Msg: Mass{
+		Attr: a.cfg.Attr, Epoch: a.epoch,
+		Sum: a.sum, Weight: a.weight,
+		Min: a.min, Max: a.max, HasExt: a.hasExt,
+	}}}
+}
+
+// Handle implements sim.Machine.
+func (a *Aggregator) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
+	m, ok := msg.(Mass)
+	if !ok || m.Attr != a.cfg.Attr || m.Epoch != a.epoch {
+		return nil
+	}
+	a.sum += m.Sum
+	a.weight += m.Weight
+	if m.HasExt {
+		if !a.hasExt || m.Min < a.min {
+			a.min = m.Min
+		}
+		if !a.hasExt || m.Max > a.max {
+			a.max = m.Max
+		}
+		a.hasExt = true
+	}
+	return nil
+}
+
+// Average returns the node's current estimate of the global average of
+// the aggregated value. Prefers the previous epoch's settled answer while
+// the current epoch is still mixing.
+func (a *Aggregator) Average() float64 {
+	if a.hasSettled {
+		return a.settledAvg
+	}
+	return a.WorkingAverage()
+}
+
+// WorkingAverage returns the in-progress estimate of the current epoch.
+func (a *Aggregator) WorkingAverage() float64 {
+	if a.weight <= 0 {
+		return 0
+	}
+	return a.sum / a.weight
+}
+
+// Min returns the gossiped minimum (settled epoch preferred).
+func (a *Aggregator) Min() float64 {
+	if a.hasSettled {
+		return a.settledMin
+	}
+	return a.min
+}
+
+// Max returns the gossiped maximum (settled epoch preferred).
+func (a *Aggregator) Max() float64 {
+	if a.hasSettled {
+		return a.settledMax
+	}
+	return a.max
+}
+
+// SumEstimate combines the average with a system-size estimate into a
+// global sum — the composition §III-C describes: "basic distributed
+// computations are already done in order to estimate the data
+// distribution ... it is simply a matter of exposing such results".
+func (a *Aggregator) SumEstimate(nEstimate float64) float64 {
+	return a.Average() * nEstimate
+}

@@ -1,0 +1,184 @@
+package aggregate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"datadroplets/internal/membership"
+	"datadroplets/internal/node"
+	"datadroplets/internal/sim"
+)
+
+type cluster struct {
+	net      *sim.Network
+	machines map[node.ID]*Aggregator
+	ids      []node.ID
+}
+
+func newCluster(n int, seed int64, cfg Config, valueOf func(i int) float64) *cluster {
+	c := &cluster{
+		net:      sim.New(sim.Config{Seed: seed}),
+		machines: make(map[node.ID]*Aggregator, n),
+	}
+	ids := make([]node.ID, n)
+	for i := range ids {
+		ids[i] = node.ID(i + 1)
+	}
+	c.ids = ids
+	pop := func() []node.ID { return ids }
+	for i := 0; i < n; i++ {
+		v := valueOf(i)
+		local := cfg
+		local.Value = func() float64 { return v }
+		c.net.Spawn(func(id node.ID, rng *rand.Rand) sim.Machine {
+			a := New(id, rng, membership.NewUniformView(id, rng, pop), local)
+			c.machines[id] = a
+			return a
+		})
+	}
+	return c
+}
+
+func TestAverageConverges(t *testing.T) {
+	// Values 0..n-1: true average (n-1)/2.
+	const n = 200
+	c := newCluster(n, 3, Config{Attr: "x", EpochLen: 1000},
+		func(i int) float64 { return float64(i) })
+	c.net.Run(30)
+	want := float64(n-1) / 2
+	for _, probe := range []node.ID{1, 100, 200} {
+		got := c.machines[probe].WorkingAverage()
+		if math.Abs(got-want)/want > 0.02 {
+			t.Fatalf("node %v average = %v, want ≈%v", probe, got, want)
+		}
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	// At any instant, node-resident mass plus in-flight mass is the
+	// initial total; since Tick halves sum and weight together, the
+	// node-resident ratio Σsum/Σweight is exactly the true average at
+	// every round — the invariant push-sum correctness rests on.
+	const n = 50
+	c := newCluster(n, 5, Config{Attr: "x", EpochLen: 1000},
+		func(i int) float64 { return 10 })
+	for round := 0; round < 25; round++ {
+		c.net.Step()
+		var sum, weight float64
+		for _, a := range c.machines {
+			sum += a.sum
+			weight += a.weight
+		}
+		if weight <= 0 {
+			t.Fatalf("round %d: nonpositive total weight %v", round, weight)
+		}
+		if ratio := sum / weight; math.Abs(ratio-10) > 1e-9 {
+			t.Fatalf("round %d: Σsum/Σweight = %v, want exactly 10", round, ratio)
+		}
+	}
+}
+
+func TestMinMaxPropagate(t *testing.T) {
+	const n = 100
+	c := newCluster(n, 7, Config{Attr: "x", EpochLen: 1000},
+		func(i int) float64 { return float64(i * i) })
+	c.net.Run(25)
+	for _, probe := range []node.ID{1, 50, 100} {
+		a := c.machines[probe]
+		if a.Min() != 0 {
+			t.Fatalf("node %v min = %v, want 0", probe, a.Min())
+		}
+		if a.Max() != float64((n-1)*(n-1)) {
+			t.Fatalf("node %v max = %v, want %v", probe, a.Max(), (n-1)*(n-1))
+		}
+	}
+}
+
+func TestSumEstimate(t *testing.T) {
+	const n = 100
+	c := newCluster(n, 9, Config{Attr: "x", EpochLen: 1000},
+		func(i int) float64 { return 2.5 })
+	c.net.Run(25)
+	got := c.machines[1].SumEstimate(n)
+	if math.Abs(got-250) > 10 {
+		t.Fatalf("sum estimate = %v, want ≈250", got)
+	}
+}
+
+func TestEpochRestartTracksChangedValues(t *testing.T) {
+	const n = 50
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1
+	}
+	c := &cluster{
+		net:      sim.New(sim.Config{Seed: 11}),
+		machines: make(map[node.ID]*Aggregator, n),
+	}
+	ids := make([]node.ID, n)
+	for i := range ids {
+		ids[i] = node.ID(i + 1)
+	}
+	c.ids = ids
+	pop := func() []node.ID { return ids }
+	for i := 0; i < n; i++ {
+		idx := i
+		c.net.Spawn(func(id node.ID, rng *rand.Rand) sim.Machine {
+			a := New(id, rng, membership.NewUniformView(id, rng, pop),
+				Config{Attr: "x", EpochLen: 20, Value: func() float64 { return vals[idx] }})
+			c.machines[id] = a
+			return a
+		})
+	}
+	c.net.Run(19)
+	if got := c.machines[1].WorkingAverage(); math.Abs(got-1) > 0.05 {
+		t.Fatalf("epoch-0 average = %v, want ≈1", got)
+	}
+	// Change every node's local value; the next epoch must pick it up.
+	for i := range vals {
+		vals[i] = 5
+	}
+	c.net.Run(40)
+	if got := c.machines[1].Average(); math.Abs(got-5) > 0.25 {
+		t.Fatalf("post-change average = %v, want ≈5", got)
+	}
+}
+
+func TestChurnCausesBoundedError(t *testing.T) {
+	// Transient churn removes mass temporarily; epoch restarts bound the
+	// resulting error. The measured average should stay within a broad
+	// band of the truth.
+	const n = 150
+	c := newCluster(n, 13, Config{Attr: "x", EpochLen: 25},
+		func(i int) float64 { return 100 })
+	ch := sim.NewChurner(c.net, sim.ChurnConfig{TransientPerRound: 0.01, MeanDowntime: 5}, 17)
+	for i := 0; i < 75; i++ {
+		ch.Step()
+		c.net.Step()
+	}
+	alive := c.net.AliveIDs()
+	got := c.machines[alive[0]].Average()
+	if got < 50 || got > 200 {
+		t.Fatalf("average under churn = %v, want within [50,200] of true 100", got)
+	}
+}
+
+func TestCrossAttributeIsolation(t *testing.T) {
+	a := New(1, rand.New(rand.NewSource(1)), nil, Config{Attr: "x", Value: func() float64 { return 1 }})
+	a.Start(0)
+	// A mass message for another attribute must be ignored.
+	a.Handle(1, 2, Mass{Attr: "y", Epoch: 0, Sum: 1e9, Weight: 1e9})
+	if a.WorkingAverage() > 1.0001 {
+		t.Fatalf("foreign-attribute mass merged: avg = %v", a.WorkingAverage())
+	}
+}
+
+func TestStaleEpochIgnored(t *testing.T) {
+	a := New(1, rand.New(rand.NewSource(1)), nil, Config{Attr: "x", EpochLen: 10, Value: func() float64 { return 1 }})
+	a.Start(0)
+	a.Handle(1, 2, Mass{Attr: "x", Epoch: 7, Sum: 1e9, Weight: 1})
+	if a.WorkingAverage() > 1.0001 {
+		t.Fatalf("stale epoch mass merged: avg = %v", a.WorkingAverage())
+	}
+}

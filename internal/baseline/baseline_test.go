@@ -1,0 +1,182 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"datadroplets/internal/node"
+	"datadroplets/internal/sim"
+	"datadroplets/internal/tuple"
+)
+
+type cluster struct {
+	net      *sim.Network
+	nodes    map[node.ID]*Node
+	provider *DelayedViewProvider
+}
+
+func newCluster(n int, seed int64, replicas, lag int) *cluster {
+	c := &cluster{
+		net:      sim.New(sim.Config{Seed: seed}),
+		nodes:    make(map[node.ID]*Node, n),
+		provider: NewDelayedViewProvider(lag),
+	}
+	cfg := Config{Replicas: replicas, Vnodes: 16, CheckEvery: 2, View: c.provider.View}
+	for i := 0; i < n; i++ {
+		c.net.Spawn(func(id node.ID, rng *rand.Rand) sim.Machine {
+			bn := New(id, rng, cfg)
+			c.nodes[id] = bn
+			return bn
+		})
+	}
+	c.provider.Record(c.net.AliveIDs())
+	return c
+}
+
+// step records membership then advances one round.
+func (c *cluster) step() {
+	c.provider.Record(c.net.AliveIDs())
+	c.net.Step()
+}
+
+func (c *cluster) run(rounds int) {
+	for i := 0; i < rounds; i++ {
+		c.step()
+	}
+}
+
+func mk(key string, seq uint64) *tuple.Tuple {
+	return &tuple.Tuple{Key: key, Value: []byte("v"), Version: tuple.Version{Seq: seq, Writer: 1}}
+}
+
+func (c *cluster) holders(key string) []node.ID {
+	var out []node.ID
+	for id, bn := range c.nodes {
+		if c.net.Alive(id) && bn.Has(key) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func TestPutReplicatesToRNodes(t *testing.T) {
+	c := newCluster(20, 3, 3, 0)
+	c.run(3) // let views settle
+	coord := c.nodes[1]
+	envs := coord.Put(c.net.Round(), mk("key-1", 1))
+	c.net.Emit(1, envs)
+	c.net.Quiesce(10)
+	if got := len(c.holders("key-1")); got != 3 {
+		t.Fatalf("holders = %d, want 3", got)
+	}
+}
+
+func TestLWWOnReplicas(t *testing.T) {
+	c := newCluster(10, 5, 3, 0)
+	c.run(3)
+	c.net.Emit(1, c.nodes[1].Put(c.net.Round(), mk("k", 2)))
+	c.net.Quiesce(10)
+	c.net.Emit(2, c.nodes[2].Put(c.net.Round(), mk("k", 1))) // stale write
+	c.net.Quiesce(10)
+	for _, id := range c.holders("k") {
+		got, _ := c.nodes[id].Get("k")
+		if got.Version.Seq != 2 {
+			t.Fatalf("node %v kept stale version %v", id, got.Version)
+		}
+	}
+}
+
+func TestReactiveRepairRestoresReplicas(t *testing.T) {
+	c := newCluster(20, 7, 3, 2)
+	c.run(3)
+	c.net.Emit(1, c.nodes[1].Put(c.net.Round(), mk("key-x", 1)))
+	c.net.Quiesce(10)
+	before := c.holders("key-x")
+	if len(before) != 3 {
+		t.Fatalf("setup holders = %d", len(before))
+	}
+	// Permanently kill one replica.
+	c.net.Kill(before[0], true)
+	c.run(40) // detection lag + repair cadence + streaming
+	after := c.holders("key-x")
+	if len(after) < 3 {
+		t.Fatalf("holders after repair = %d (%v), want >= 3", len(after), after)
+	}
+	// Repair must have streamed data.
+	var transferred int64
+	for _, bn := range c.nodes {
+		transferred += bn.Transferred
+	}
+	if transferred == 0 {
+		t.Fatal("no repair traffic recorded")
+	}
+}
+
+func TestDetectionLagDelaysRepair(t *testing.T) {
+	// With a large lag, repair cannot begin promptly after a failure.
+	c := newCluster(20, 9, 3, 50)
+	c.run(3)
+	c.net.Emit(1, c.nodes[1].Put(c.net.Round(), mk("key-y", 1)))
+	c.net.Quiesce(10)
+	before := c.holders("key-y")
+	c.net.Kill(before[0], true)
+	c.run(10) // well inside the lag window
+	if got := len(c.holders("key-y")); got != 2 {
+		t.Fatalf("holders inside lag window = %d, want still 2", got)
+	}
+}
+
+func TestRepairTrafficScalesWithChurn(t *testing.T) {
+	traffic := func(churnRate float64, seed int64) int64 {
+		c := newCluster(40, seed, 3, 3)
+		c.run(3)
+		for i := 0; i < 200; i++ {
+			coord := c.nodes[node.ID(i%40+1)]
+			c.net.Emit(node.ID(i%40+1), coord.Put(c.net.Round(), mk(fmt.Sprintf("key-%d", i), 1)))
+		}
+		c.net.Quiesce(10)
+		ch := sim.NewChurner(c.net, sim.ChurnConfig{TransientPerRound: churnRate, MeanDowntime: 10}, seed+1)
+		for i := 0; i < 60; i++ {
+			ch.Step()
+			c.step()
+		}
+		var total int64
+		for _, bn := range c.nodes {
+			total += bn.Transferred
+		}
+		return total
+	}
+	low := traffic(0.001, 11)
+	high := traffic(0.05, 13)
+	if high <= low {
+		t.Fatalf("repair traffic did not grow with churn: low=%d high=%d", low, high)
+	}
+}
+
+func TestViewSignatureDistinguishesViews(t *testing.T) {
+	a := viewSignature([]node.ID{1, 2, 3})
+	b := viewSignature([]node.ID{1, 2, 4})
+	if a == b {
+		t.Fatal("signatures collide on different views")
+	}
+	if a != viewSignature([]node.ID{1, 2, 3}) {
+		t.Fatal("signature not deterministic")
+	}
+}
+
+func TestDelayedViewProvider(t *testing.T) {
+	p := NewDelayedViewProvider(2)
+	if p.View(0) != nil {
+		t.Fatal("empty provider should return nil")
+	}
+	p.Record([]node.ID{1, 2, 3}) // round 0
+	p.Record([]node.ID{1, 2})    // round 1
+	p.Record([]node.ID{1})       // round 2
+	if got := p.View(2); len(got) != 3 {
+		t.Fatalf("lagged view = %v, want the round-0 snapshot", got)
+	}
+	if got := p.View(100); len(got) != 1 {
+		t.Fatalf("clamped view = %v, want latest", got)
+	}
+}

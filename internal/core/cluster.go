@@ -1,0 +1,303 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"datadroplets/internal/dht"
+	"datadroplets/internal/epidemic"
+	"datadroplets/internal/membership"
+	"datadroplets/internal/node"
+	"datadroplets/internal/sim"
+	"datadroplets/internal/tuple"
+)
+
+// persistAdapter lets the epidemic node accept the soft layer's
+// WriteCmd without the epidemic package knowing about core types.
+type persistAdapter struct {
+	*epidemic.Node
+}
+
+// Handle intercepts WriteCmd and delegates everything else.
+func (a *persistAdapter) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
+	if cmd, ok := msg.(WriteCmd); ok {
+		return a.Node.WriteFrom(now, cmd.ReplyTo, cmd.Tuple)
+	}
+	return a.Node.Handle(now, from, msg)
+}
+
+// ClusterConfig sizes a DataDroplets deployment.
+type ClusterConfig struct {
+	// SoftNodes is the size of the structured soft-state layer
+	// ("moderately sized and thus manageable with a structured
+	// approach"). Zero means 4.
+	SoftNodes int
+	// PersistentNodes is the size of the epidemic persistent layer.
+	// Zero means 32.
+	PersistentNodes int
+	// Seed drives all randomness.
+	Seed int64
+	// Loss / MinDelay / MaxDelay configure the fabric.
+	Loss               float64
+	MinDelay, MaxDelay int
+	// Soft tunes soft-state nodes; Persist tunes persistent nodes.
+	Soft    SoftConfig
+	Persist epidemic.Config
+	// Vnodes is virtual nodes per soft member on the routing ring.
+	Vnodes int
+}
+
+func (c ClusterConfig) normalized() ClusterConfig {
+	if c.SoftNodes <= 0 {
+		c.SoftNodes = 4
+	}
+	if c.PersistentNodes <= 0 {
+		c.PersistentNodes = 32
+	}
+	if c.Vnodes <= 0 {
+		c.Vnodes = 32
+	}
+	return c
+}
+
+// Cluster is a full DataDroplets deployment over the simulator fabric:
+// persistent nodes first, soft nodes on top, and a client router that
+// sends every operation to the soft node responsible for its key.
+type Cluster struct {
+	Net *sim.Network
+	cfg ClusterConfig
+
+	softRing *dht.Ring
+	Softs    map[node.ID]*SoftNode
+	Pers     map[node.ID]*epidemic.Node
+
+	softIDs []node.ID
+	persIDs []node.ID
+}
+
+// Errors returned by the synchronous client helpers.
+var (
+	ErrNotFound = errors.New("core: key not found")
+	ErrTimeout  = errors.New("core: operation did not complete in time")
+)
+
+// NewCluster builds and boots a cluster.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	cfg = cfg.normalized()
+	c := &Cluster{
+		Net:      sim.New(sim.Config{Seed: cfg.Seed, Loss: cfg.Loss, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay}),
+		cfg:      cfg,
+		softRing: dht.NewRing(cfg.Vnodes),
+		Softs:    make(map[node.ID]*SoftNode, cfg.SoftNodes),
+		Pers:     make(map[node.ID]*epidemic.Node, cfg.PersistentNodes),
+	}
+	// Persistent layer first: IDs 1..P.
+	persPop := func() []node.ID { return c.persIDs }
+	for i := 0; i < cfg.PersistentNodes; i++ {
+		id := c.Net.Spawn(func(id node.ID, rng *rand.Rand) sim.Machine {
+			en := epidemic.New(id, rng, membership.NewUniformView(id, rng, persPop), cfg.Persist)
+			c.Pers[id] = en
+			return &persistAdapter{Node: en}
+		})
+		c.persIDs = append(c.persIDs, id)
+	}
+	// Soft layer: IDs P+1..P+S.
+	for i := 0; i < cfg.SoftNodes; i++ {
+		id := c.Net.Spawn(func(id node.ID, rng *rand.Rand) sim.Machine {
+			sn := NewSoftNode(id, rng, membership.NewUniformView(id, rng, persPop), cfg.Soft)
+			c.Softs[id] = sn
+			return sn
+		})
+		c.softIDs = append(c.softIDs, id)
+		c.softRing.Add(id)
+	}
+	return c
+}
+
+// Route returns the soft node responsible for key (its ring successor
+// among alive soft nodes).
+func (c *Cluster) Route(key string) *SoftNode {
+	owners := c.softRing.LookupN(node.HashKey(key), len(c.softIDs))
+	for _, id := range owners {
+		if c.Net.Alive(id) {
+			return c.Softs[id]
+		}
+	}
+	return nil
+}
+
+// AnySoft returns some alive soft node (for key-less operations).
+func (c *Cluster) AnySoft() *SoftNode {
+	for _, id := range c.softIDs {
+		if c.Net.Alive(id) {
+			return c.Softs[id]
+		}
+	}
+	return nil
+}
+
+// stepUntil advances the simulation until the op completes or maxRounds
+// elapse.
+func (c *Cluster) stepUntil(s *SoftNode, opID uint64, maxRounds int) (*Op, error) {
+	for i := 0; i < maxRounds; i++ {
+		op, ok := s.Op(opID)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown op %d", opID)
+		}
+		if op.Done {
+			return op, nil
+		}
+		c.Net.Step()
+	}
+	op, _ := s.Op(opID)
+	if op != nil && op.Done {
+		return op, nil
+	}
+	return op, ErrTimeout
+}
+
+// Put writes a tuple and waits for the configured storage
+// acknowledgements.
+func (c *Cluster) Put(key string, value []byte, attrs map[string]float64, tags []string) error {
+	s := c.Route(key)
+	if s == nil {
+		return errors.New("core: no alive soft node")
+	}
+	opID, envs := s.Put(c.Net.Round(), key, value, attrs, tags, false)
+	c.Net.Emit(s.Self, envs)
+	op, err := c.stepUntil(s, opID, 200)
+	s.ForgetOp(opID)
+	if err != nil {
+		return err
+	}
+	if op.Err != "" {
+		return errors.New(op.Err)
+	}
+	return nil
+}
+
+// Delete writes a tombstone.
+func (c *Cluster) Delete(key string) error {
+	s := c.Route(key)
+	if s == nil {
+		return errors.New("core: no alive soft node")
+	}
+	opID, envs := s.Put(c.Net.Round(), key, nil, nil, nil, true)
+	c.Net.Emit(s.Self, envs)
+	op, err := c.stepUntil(s, opID, 200)
+	s.ForgetOp(opID)
+	if err != nil {
+		return err
+	}
+	if op.Err != "" {
+		return errors.New(op.Err)
+	}
+	return nil
+}
+
+// Get reads the latest version of key.
+func (c *Cluster) Get(key string) (*tuple.Tuple, error) {
+	s := c.Route(key)
+	if s == nil {
+		return nil, errors.New("core: no alive soft node")
+	}
+	opID, envs := s.Get(c.Net.Round(), key)
+	c.Net.Emit(s.Self, envs)
+	op, err := c.stepUntil(s, opID, 200)
+	s.ForgetOp(opID)
+	if err != nil {
+		return nil, err
+	}
+	if op.Tuple == nil {
+		return nil, ErrNotFound
+	}
+	return op.Tuple, nil
+}
+
+// Scan performs an ordered range scan over the quantile attribute.
+func (c *Cluster) Scan(attr string, lo, hi float64, maxHops int) ([]*tuple.Tuple, error) {
+	s := c.AnySoft()
+	if s == nil {
+		return nil, errors.New("core: no alive soft node")
+	}
+	opID, envs := s.Scan(attr, lo, hi, maxHops)
+	c.Net.Emit(s.Self, envs)
+	op, err := c.stepUntil(s, opID, 300)
+	tuples := op.Tuples
+	s.ForgetOp(opID)
+	if err != nil && len(tuples) == 0 {
+		return nil, err
+	}
+	return tuples, nil
+}
+
+// Aggregate returns the continuous aggregate estimates for attr.
+func (c *Cluster) Aggregate(attr string) (epidemic.AggResp, error) {
+	s := c.AnySoft()
+	if s == nil {
+		return epidemic.AggResp{}, errors.New("core: no alive soft node")
+	}
+	opID, envs := s.Aggregate(attr)
+	c.Net.Emit(s.Self, envs)
+	op, err := c.stepUntil(s, opID, 100)
+	s.ForgetOp(opID)
+	if err != nil {
+		return epidemic.AggResp{}, err
+	}
+	if op.Err != "" {
+		return op.Agg, errors.New(op.Err)
+	}
+	return op.Agg, nil
+}
+
+// Run advances the whole deployment the given number of rounds (gossip
+// epochs, repair cycles, overlay convergence).
+func (c *Cluster) Run(rounds int) { c.Net.Run(rounds) }
+
+// WipeSoftLayer destroys all soft-state metadata — C14's catastrophe.
+func (c *Cluster) WipeSoftLayer() {
+	for _, s := range c.Softs {
+		s.Wipe()
+	}
+}
+
+// RecoverSoftLayer rebuilds soft metadata from the persistent layer and
+// returns the number of keys recovered across soft nodes.
+func (c *Cluster) RecoverSoftLayer(spread, limit, maxRounds int) (int, error) {
+	for _, id := range c.softIDs {
+		s := c.Softs[id]
+		opID, envs := s.Recover(spread, limit)
+		c.Net.Emit(s.Self, envs)
+		if _, err := c.stepUntil(s, opID, maxRounds); err != nil {
+			return 0, err
+		}
+		s.ForgetOp(opID)
+	}
+	total := 0
+	for _, s := range c.Softs {
+		total += len(s.Seq.Keys())
+	}
+	return total, nil
+}
+
+// PersistentHolders counts alive persistent nodes holding a live copy of
+// key (oracle availability metric).
+func (c *Cluster) PersistentHolders(key string) int {
+	count := 0
+	for id, en := range c.Pers {
+		if !c.Net.Alive(id) {
+			continue
+		}
+		if _, ok := en.St.Get(key); ok {
+			count++
+		}
+	}
+	return count
+}
+
+// PersistentIDs returns the persistent layer node IDs.
+func (c *Cluster) PersistentIDs() []node.ID { return c.persIDs }
+
+// SoftIDs returns the soft layer node IDs.
+func (c *Cluster) SoftIDs() []node.ID { return c.softIDs }

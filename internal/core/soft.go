@@ -1,0 +1,378 @@
+// Package core assembles DataDroplets: the two-layer architecture of
+// Figure 1. Soft-state nodes order client requests, cache tuples and
+// keep metadata; the epidemic persistent layer below stores the data.
+// The Cluster type wires both layers over the simulator fabric and is
+// the substrate the public facade and every end-to-end experiment run
+// on.
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"datadroplets/internal/cache"
+	"datadroplets/internal/dht"
+	"datadroplets/internal/epidemic"
+	"datadroplets/internal/membership"
+	"datadroplets/internal/node"
+	"datadroplets/internal/sim"
+	"datadroplets/internal/tuple"
+)
+
+// OpKind distinguishes client operations tracked by a soft node.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpPut OpKind = iota + 1
+	OpGet
+	OpDelete
+	OpScan
+	OpAgg
+	OpRecover
+)
+
+// Op tracks one client operation through the soft-state layer.
+type Op struct {
+	ID      uint64
+	Kind    OpKind
+	Key     string
+	Done    bool
+	Err     string
+	Tuple   *tuple.Tuple   // Get result
+	Tuples  []*tuple.Tuple // Scan result
+	Acks    int            // Put: storage acknowledgements received
+	Agg     epidemic.AggResp
+	Replies int
+	want    int // replies that complete the op
+	version tuple.Version
+}
+
+// SoftConfig tunes a soft-state node.
+type SoftConfig struct {
+	// WriteAcks is how many persistent-layer storage acknowledgements
+	// complete a Put. Zero means 1.
+	WriteAcks int
+	// CacheSize is the tuple cache capacity. Zero means 1024.
+	CacheSize int
+	// ReadProbes / ReadTTL configure hint-miss fallback probing.
+	ReadProbes, ReadTTL int
+	// DirHints caps directory hints per key. Zero means 4.
+	DirHints int
+}
+
+func (c SoftConfig) normalized() SoftConfig {
+	if c.WriteAcks < 1 {
+		c.WriteAcks = 1
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.ReadProbes == 0 {
+		c.ReadProbes = 8
+	}
+	if c.ReadTTL == 0 {
+		c.ReadTTL = 4
+	}
+	return c
+}
+
+// SoftNode is one soft-state layer member: sequencer, directory, cache,
+// and client-operation tracking. It is a sim.Machine like everything
+// else; client calls are made directly on the responsible node by the
+// Cluster router.
+type SoftNode struct {
+	Self node.ID
+	rng  *rand.Rand
+	cfg  SoftConfig
+
+	Seq   *dht.Sequencer
+	Dir   *dht.Directory
+	Cache *cache.Cache
+
+	// persistent supplies entry points into the persistent layer.
+	persistent membership.Sampler
+
+	nextOp uint64
+	ops    map[uint64]*Op
+	// byKey matches StoreAcks (which carry only the key) to put ops.
+	putsByKey map[string]uint64
+
+	// CacheHits / PersistentReads count the C13 comparison.
+	CacheHits       int64
+	PersistentReads int64
+}
+
+var _ sim.Machine = (*SoftNode)(nil)
+
+// NewSoftNode builds a soft-state node; persistent samples entry nodes of
+// the persistent layer.
+func NewSoftNode(self node.ID, rng *rand.Rand, persistent membership.Sampler, cfg SoftConfig) *SoftNode {
+	cfg = cfg.normalized()
+	return &SoftNode{
+		Self:       self,
+		rng:        rng,
+		cfg:        cfg,
+		Seq:        dht.NewSequencer(self),
+		Dir:        dht.NewDirectory(cfg.DirHints),
+		Cache:      cache.New(cfg.CacheSize),
+		persistent: persistent,
+		ops:        make(map[uint64]*Op),
+		putsByKey:  make(map[string]uint64),
+	}
+}
+
+func (s *SoftNode) newOp(kind OpKind, key string) *Op {
+	s.nextOp++
+	op := &Op{ID: uint64(s.Self)<<32 | s.nextOp, Kind: kind, Key: key}
+	s.ops[op.ID] = op
+	return op
+}
+
+// Op returns the state of an operation.
+func (s *SoftNode) Op(id uint64) (*Op, bool) {
+	op, ok := s.ops[id]
+	return op, ok
+}
+
+// ForgetOp releases a completed operation.
+func (s *SoftNode) ForgetOp(id uint64) {
+	if op, ok := s.ops[id]; ok {
+		if op.Kind == OpPut && s.putsByKey[op.Key] == id {
+			delete(s.putsByKey, op.Key)
+		}
+		delete(s.ops, id)
+	}
+}
+
+// Put sequences a write and hands it to the persistent layer for
+// epidemic dissemination. Returns the op ID and envelopes to emit.
+func (s *SoftNode) Put(now sim.Round, key string, value []byte, attrs map[string]float64, tags []string, deleted bool) (uint64, []sim.Envelope) {
+	op := s.newOp(OpPut, key)
+	if deleted {
+		op.Kind = OpDelete
+	}
+	version := s.Seq.Next(key)
+	op.version = version
+	t := &tuple.Tuple{Key: key, Value: value, Attrs: attrs, Tags: tags, Version: version, Deleted: deleted}
+	if err := t.Validate(); err != nil {
+		op.Done, op.Err = true, err.Error()
+		return op.ID, nil
+	}
+	s.Cache.Put(t)
+	s.putsByKey[key] = op.ID
+	entry := s.persistent.One()
+	if entry == node.None {
+		op.Done, op.Err = true, "no persistent layer entry point"
+		return op.ID, nil
+	}
+	return op.ID, []sim.Envelope{{To: entry, Msg: WriteCmd{Tuple: t.Clone(), ReplyTo: s.Self}}}
+}
+
+// Get serves a read: version-exact cache first, then the persistent
+// layer via directory hints with random probing as fallback.
+func (s *SoftNode) Get(now sim.Round, key string) (uint64, []sim.Envelope) {
+	op := s.newOp(OpGet, key)
+	latest, known := s.Seq.Latest(key)
+	if known {
+		if t, ok := s.Cache.Get(key, latest); ok {
+			op.Done, op.Tuple = true, t
+			if t.Deleted {
+				op.Tuple = nil
+				op.Err = "not found"
+			}
+			s.CacheHits++
+			return op.ID, nil
+		}
+	}
+	s.PersistentReads++
+	hints := s.Dir.Hints(key)
+	probes := s.persistent.Sample(s.cfg.ReadProbes)
+	var envs []sim.Envelope
+	seen := map[node.ID]bool{}
+	for _, h := range hints {
+		if !seen[h] {
+			seen[h] = true
+			envs = append(envs, sim.Envelope{To: h, Msg: epidemic.ReadReq{
+				Key: key, ReqID: op.ID, Origin: s.Self, TTL: 0,
+			}})
+		}
+	}
+	for _, p := range probes {
+		if !seen[p] {
+			seen[p] = true
+			envs = append(envs, sim.Envelope{To: p, Msg: epidemic.ReadReq{
+				Key: key, ReqID: op.ID, Origin: s.Self, TTL: s.cfg.ReadTTL,
+			}})
+		}
+	}
+	op.want = len(envs)
+	if op.want == 0 {
+		op.Done, op.Err = true, "not found"
+	}
+	op.version = latest
+	return op.ID, envs
+}
+
+// Scan launches an ordered range scan through a persistent entry node.
+func (s *SoftNode) Scan(attr string, lo, hi float64, maxHops int) (uint64, []sim.Envelope) {
+	op := s.newOp(OpScan, "")
+	entry := s.persistent.One()
+	if entry == node.None {
+		op.Done, op.Err = true, "no persistent layer entry point"
+		return op.ID, nil
+	}
+	return op.ID, []sim.Envelope{{To: entry, Msg: epidemic.ScanReq{
+		Attr: attr, Lo: lo, Hi: hi, ReqID: op.ID, Origin: s.Self,
+		HopsLeft: maxHops, Seeking: true,
+	}}}
+}
+
+// Aggregate queries a persistent node's continuous aggregates.
+func (s *SoftNode) Aggregate(attr string) (uint64, []sim.Envelope) {
+	op := s.newOp(OpAgg, attr)
+	entry := s.persistent.One()
+	if entry == node.None {
+		op.Done, op.Err = true, "no persistent layer entry point"
+		return op.ID, nil
+	}
+	return op.ID, []sim.Envelope{{To: entry, Msg: epidemic.AggReq{Attr: attr, ReqID: op.ID}}}
+}
+
+// Recover rebuilds soft state from the persistent layer after a wipe
+// (§II: "metadata can be reconstructed from the data reliably stored at
+// the underlying persistent-state layer"). It queries `spread` persistent
+// nodes and folds their version reports into the sequencer and directory.
+func (s *SoftNode) Recover(spread, limit int) (uint64, []sim.Envelope) {
+	op := s.newOp(OpRecover, "")
+	peers := s.persistent.Sample(spread)
+	if len(peers) == 0 {
+		op.Done, op.Err = true, "no persistent layer entry point"
+		return op.ID, nil
+	}
+	op.want = len(peers)
+	envs := make([]sim.Envelope, 0, len(peers))
+	for _, p := range peers {
+		envs = append(envs, sim.Envelope{To: p, Msg: epidemic.RecoverReq{ReqID: op.ID, Limit: limit}})
+	}
+	return op.ID, envs
+}
+
+// Wipe destroys all soft state — the catastrophic failure of C14.
+func (s *SoftNode) Wipe() {
+	s.Seq.Wipe()
+	s.Dir.Wipe()
+	s.Cache.Wipe()
+}
+
+// WriteCmd is the soft→persistent handoff: the receiving persistent node
+// disseminates the tuple with the soft node as hint origin.
+type WriteCmd struct {
+	Tuple   *tuple.Tuple
+	ReplyTo node.ID
+}
+
+// Start implements sim.Machine.
+func (s *SoftNode) Start(now sim.Round) []sim.Envelope { return nil }
+
+// Tick implements sim.Machine: expire reads whose probes all reported.
+func (s *SoftNode) Tick(now sim.Round) []sim.Envelope { return nil }
+
+// Handle implements sim.Machine.
+func (s *SoftNode) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
+	switch m := msg.(type) {
+	case epidemic.StoreAck:
+		s.Dir.AddHint(m.Key, from)
+		if opID, ok := s.putsByKey[m.Key]; ok {
+			if op, live := s.ops[opID]; live && !op.Done {
+				op.Acks++
+				if op.Acks >= s.cfg.WriteAcks {
+					op.Done = true
+				}
+			}
+		}
+	case epidemic.ReadResp:
+		s.handleReadResp(m, from)
+	case epidemic.ScanResp:
+		if op, ok := s.ops[m.ReqID]; ok {
+			op.Tuples = append(op.Tuples, m.Tuples...)
+			if m.Done {
+				op.Done = true
+				op.Tuples = dedupeByKey(op.Tuples)
+			}
+		}
+	case epidemic.AggResp:
+		if op, ok := s.ops[m.ReqID]; ok {
+			op.Agg = m
+			op.Done = true
+			if !m.Known {
+				op.Err = "attribute not aggregated"
+			}
+		}
+	case epidemic.RecoverResp:
+		if op, ok := s.ops[m.ReqID]; ok {
+			for key, v := range m.Versions {
+				s.Seq.Observe(key, v)
+				s.Dir.AddHint(key, from)
+			}
+			op.Replies++
+			if op.Replies >= op.want {
+				op.Done = true
+			}
+		}
+	}
+	return nil
+}
+
+// handleReadResp folds a persistent-layer read reply into its op.
+func (s *SoftNode) handleReadResp(m epidemic.ReadResp, from node.ID) {
+	op, ok := s.ops[m.ReqID]
+	if !ok || op.Done {
+		return
+	}
+	op.Replies++
+	if m.Tuple != nil {
+		s.Seq.Observe(op.Key, m.Tuple.Version)
+		s.Dir.AddHint(op.Key, from)
+		if op.Tuple == nil || op.Tuple.Version.Less(m.Tuple.Version) {
+			op.Tuple = m.Tuple
+		}
+		// Version-exact completion: if the soft layer knows the latest
+		// version, only that version completes the read immediately.
+		if !op.version.IsZero() && m.Tuple.Version == op.version {
+			s.finishGet(op)
+			return
+		}
+	}
+	if op.Replies >= op.want {
+		// All probes reported: best effort result.
+		s.finishGet(op)
+	}
+}
+
+// dedupeByKey collapses replica duplicates in scan results, keeping the
+// newest version of each key, sorted by key.
+func dedupeByKey(ts []*tuple.Tuple) []*tuple.Tuple {
+	best := make(map[string]*tuple.Tuple, len(ts))
+	for _, t := range ts {
+		if cur, ok := best[t.Key]; !ok || cur.Version.Less(t.Version) {
+			best[t.Key] = t
+		}
+	}
+	out := make([]*tuple.Tuple, 0, len(best))
+	for _, t := range best {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func (s *SoftNode) finishGet(op *Op) {
+	op.Done = true
+	if op.Tuple == nil || op.Tuple.Deleted {
+		op.Tuple = nil
+		op.Err = "not found"
+		return
+	}
+	s.Cache.Put(op.Tuple)
+}

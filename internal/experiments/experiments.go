@@ -1,0 +1,152 @@
+// Package experiments regenerates every figure/table of the reproduction
+// (F1 plus C1–C14, defined in DESIGN.md §2). Each driver is pure Go over
+// the simulator substrate and returns text/CSV tables; cmd/ddbench and
+// the repository-root benchmarks are thin wrappers around this package.
+//
+// Drivers accept a Scale knob: 1.0 runs at paper scale (tens of
+// thousands of simulated nodes for the dissemination experiments), while
+// small fractions produce quick smoke versions for CI. Scaling changes
+// population sizes and trial counts, never protocol parameters.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"datadroplets/internal/gossip"
+	"datadroplets/internal/membership"
+	"datadroplets/internal/metrics"
+	"datadroplets/internal/node"
+	"datadroplets/internal/sim"
+)
+
+// Params configures a run.
+type Params struct {
+	// Scale multiplies population sizes and trial counts (1.0 = paper
+	// scale). Values below ~0.05 are clamped per experiment to keep the
+	// statistics meaningful.
+	Scale float64
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+func (p Params) normalized() Params {
+	if p.Scale <= 0 {
+		p.Scale = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	return p
+}
+
+// scaled returns max(min, round(base*scale)).
+func (p Params) scaled(base, min int) int {
+	n := int(float64(base) * p.Scale)
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*metrics.Table
+	Notes  []string
+}
+
+// String renders the result for terminal output.
+func (r *Result) String() string {
+	out := fmt.Sprintf("### %s — %s\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		out += t.String() + "\n"
+	}
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// Runner is an experiment driver.
+type Runner func(Params) *Result
+
+// registry maps experiment IDs to drivers. Populated by init functions
+// in the per-experiment files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) { registry[id] = r }
+
+// IDs returns the registered experiment IDs in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// F1 first, then C1..C14 numerically.
+		if out[i][0] != out[j][0] {
+			return out[i][0] == 'F'
+		}
+		var a, b int
+		fmt.Sscanf(out[i][1:], "%d", &a)
+		fmt.Sscanf(out[j][1:], "%d", &b)
+		return a < b
+	})
+	return out
+}
+
+// Run executes one experiment.
+func Run(id string, p Params) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return r(p.normalized()), nil
+}
+
+// gossipCluster is the shared dissemination fixture: n Disseminators
+// over a uniform-view population.
+type gossipCluster struct {
+	net      *sim.Network
+	ids      []node.ID
+	machines []*gossip.Disseminator
+}
+
+func newGossipCluster(n int, seed int64, cfg gossip.Config) *gossipCluster {
+	c := &gossipCluster{
+		net:      sim.New(sim.Config{Seed: seed}),
+		machines: make([]*gossip.Disseminator, 0, n),
+	}
+	ids := make([]node.ID, n)
+	for i := range ids {
+		ids[i] = node.ID(i + 1)
+	}
+	c.ids = ids
+	pop := func() []node.ID { return ids }
+	for i := 0; i < n; i++ {
+		c.net.Spawn(func(id node.ID, rng *rand.Rand) sim.Machine {
+			d := gossip.New(id, rng, membership.NewUniformView(id, rng, pop), cfg)
+			c.machines = append(c.machines, d)
+			return d
+		})
+	}
+	return c
+}
+
+// disseminate publishes one rumor from node 1 and drains the network.
+// Returns the infected count and total relayed copies.
+func (c *gossipCluster) disseminate(maxRounds int) (infected int, relayed int64) {
+	id, envs := c.machines[0].Publish(c.net.Round(), "x")
+	c.net.Emit(c.ids[0], envs)
+	c.net.Quiesce(maxRounds)
+	for _, d := range c.machines {
+		if d.Seen(id) {
+			infected++
+		}
+		relayed += d.Relayed
+	}
+	return infected, relayed
+}

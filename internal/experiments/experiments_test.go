@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// smoke runs every registered experiment at small scale: every driver
+// must complete and produce non-empty tables with consistent widths.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke suite skipped in -short")
+	}
+	p := Params{Scale: 0.08, Seed: 7}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, p)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.ID != id || len(res.Tables) == 0 {
+				t.Fatalf("malformed result: %+v", res)
+			}
+			for _, tb := range res.Tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("table %q has no rows", tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Headers) {
+						t.Fatalf("table %q row width %d != headers %d", tb.Title, len(row), len(tb.Headers))
+					}
+				}
+				if !strings.Contains(tb.CSV(), ",") {
+					t.Fatalf("table %q CSV malformed", tb.Title)
+				}
+			}
+			if res.String() == "" {
+				t.Fatal("empty rendering")
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("C99", Params{}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestIDsOrdered(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 15 {
+		t.Fatalf("registered %d experiments, want 15 (F1 + C1..C14)", len(ids))
+	}
+	if ids[0] != "F1" || ids[1] != "C1" || ids[len(ids)-1] != "C14" {
+		t.Fatalf("order = %v", ids)
+	}
+}
+
+// cell parses a table cell as float.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+// TestC1ShapeHolds verifies the headline claim at reduced scale: the
+// measured atomic-infection probability rises with c and roughly tracks
+// e^(-e^(-c)).
+func TestC1ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow statistical test")
+	}
+	res, err := Run("C1", Params{Scale: 0.2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	// Use the first N block: columns are N, c, fanout, trials, measured,
+	// analytic, coverage.
+	var lowC, highC float64
+	for _, row := range tb.Rows {
+		c := cell(t, row[1])
+		measured := cell(t, row[4])
+		if c == -1 {
+			lowC = measured
+		}
+		if c == 7 {
+			highC = measured
+			break
+		}
+	}
+	if lowC > 0.5 {
+		t.Fatalf("P(atomic) at c=-1 = %v, want small", lowC)
+	}
+	if highC < 0.9 {
+		t.Fatalf("P(atomic) at c=7 = %v, want ≈1", highC)
+	}
+}
+
+// TestC8ShapeHolds verifies the architectural claim: under high churn
+// the epidemic layer's availability is at least the baseline's.
+func TestC8ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow statistical test")
+	}
+	res, err := Run("C8", Params{Scale: 0.3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	avail := map[string]float64{}
+	for _, row := range tb.Rows {
+		if row[0] == "high" {
+			avail[row[1]] = cell(t, row[2])
+		}
+	}
+	if len(avail) != 2 {
+		t.Fatalf("missing high-churn rows: %v", tb.Rows)
+	}
+	if avail["epidemic"] < avail["baseline"]-0.05 {
+		t.Fatalf("epidemic availability %v materially below baseline %v under high churn",
+			avail["epidemic"], avail["baseline"])
+	}
+	if avail["epidemic"] < 0.8 {
+		t.Fatalf("epidemic availability %v under high churn, want >= 0.8", avail["epidemic"])
+	}
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"datadroplets/internal/baseline"
+	"datadroplets/internal/epidemic"
+	"datadroplets/internal/membership"
+	"datadroplets/internal/metrics"
+	"datadroplets/internal/node"
+	"datadroplets/internal/repair"
+	"datadroplets/internal/sim"
+	"datadroplets/internal/tuple"
+	"datadroplets/internal/workload"
+)
+
+func init() {
+	register("C7", runC7)
+	register("C8", runC8)
+}
+
+// epidemicFixture is a persistent-layer population used by C7/C8.
+type epidemicFixture struct {
+	net   *sim.Network
+	nodes []*epidemic.Node
+	ids   []node.ID
+}
+
+func buildEpidemicFixture(n int, seed int64, cfg epidemic.Config) *epidemicFixture {
+	f := &epidemicFixture{net: sim.New(sim.Config{Seed: seed})}
+	ids := make([]node.ID, n)
+	for i := range ids {
+		ids[i] = node.ID(i + 1)
+	}
+	f.ids = ids
+	pop := func() []node.ID { return f.ids }
+	for i := 0; i < n; i++ {
+		f.net.Spawn(func(id node.ID, rng *rand.Rand) sim.Machine {
+			en := epidemic.New(id, rng, membership.NewUniformView(id, rng, pop), cfg)
+			f.nodes = append(f.nodes, en)
+			return en
+		})
+	}
+	return f
+}
+
+// spawner returns a churn join factory that extends the fixture.
+func (f *epidemicFixture) spawner(cfg epidemic.Config) func(node.ID, *rand.Rand) sim.Machine {
+	pop := func() []node.ID { return f.ids }
+	return func(id node.ID, rng *rand.Rand) sim.Machine {
+		en := epidemic.New(id, rng, membership.NewUniformView(id, rng, pop), cfg)
+		f.nodes = append(f.nodes, en)
+		f.ids = append(f.ids, id)
+		return en
+	}
+}
+
+func (f *epidemicFixture) write(i int, t *tuple.Tuple) {
+	origin := f.nodes[i%len(f.nodes)]
+	f.net.Emit(origin.Self, origin.Write(f.net.Round(), t))
+}
+
+// holders counts alive nodes storing a live copy.
+func (f *epidemicFixture) holders(key string) int {
+	c := 0
+	for i, en := range f.nodes {
+		if f.net.Alive(f.ids[i]) {
+			if _, ok := en.St.Get(key); ok {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// runC7 tracks replica counts over time under churn with the redundancy
+// manager on vs off, plus the grace-window ablation (§III-A).
+func runC7(p Params) *Result {
+	res := &Result{
+		ID:    "C7",
+		Title: "Redundancy maintenance under churn (repair on/off, grace window)",
+	}
+	n := p.scaled(300, 80)
+	keys := p.scaled(100, 30)
+	r := 4
+	run := func(repairOn bool, grace int, preset workload.ChurnPreset) (mean0, meanEnd, lost float64, traffic int64) {
+		cfg := epidemic.Config{
+			Replication: r, FanoutC: 2, DisableRepair: !repairOn,
+			Repair: repair.Config{CheckEvery: 5, Grace: grace, Walks: 48, TTL: 6, WaitRounds: 9},
+		}
+		f := buildEpidemicFixture(n, p.Seed+int64(grace)*3+int64(len(preset)), cfg)
+		f.net.Run(30)
+		for i := 0; i < keys; i++ {
+			f.write(i, &tuple.Tuple{Key: workload.Key(i), Value: []byte("v"), Version: tuple.Version{Seq: 1, Writer: 1}})
+		}
+		f.net.Run(20)
+		var sum0 int
+		for i := 0; i < keys; i++ {
+			sum0 += f.holders(workload.Key(i))
+		}
+		cc := workload.ChurnConfig(preset)
+		cc.Spawn = f.spawner(cfg)
+		cc.JoinPerRound = cc.PermanentPerRound * float64(n) // joins balance departures
+		ch := sim.NewChurner(f.net, cc, p.Seed+55)
+		for i := 0; i < 150; i++ {
+			ch.Step()
+			f.net.Step()
+		}
+		var sumEnd, lostKeys int
+		for i := 0; i < keys; i++ {
+			h := f.holders(workload.Key(i))
+			sumEnd += h
+			if h == 0 {
+				lostKeys++
+			}
+		}
+		for _, en := range f.nodes {
+			if en.Repair != nil {
+				traffic += en.Repair.Pushed + en.Repair.Handoffs
+			}
+		}
+		return float64(sum0) / float64(keys), float64(sumEnd) / float64(keys),
+			float64(lostKeys) / float64(keys), traffic
+	}
+
+	table := metrics.NewTable("replicas and loss after 150 churn rounds",
+		"churn", "repair", "grace", "replicas t=0", "replicas t=150", "lost keys frac", "repair transfers")
+	for _, preset := range []workload.ChurnPreset{workload.ChurnModerate, workload.ChurnHigh} {
+		for _, on := range []bool{false, true} {
+			m0, mEnd, lost, traffic := run(on, 15, preset)
+			table.AddRow(string(preset), on, 15, m0, mEnd, lost, traffic)
+		}
+	}
+	res.Tables = append(res.Tables, table)
+
+	ablation := metrics.NewTable("grace-window ablation (transient churn, moderate)",
+		"grace rounds", "repair transfers", "replicas t=150")
+	for _, grace := range []int{1, 15, 40} {
+		_, mEnd, _, traffic := run(true, grace, workload.ChurnModerate)
+		ablation.AddRow(grace, traffic, mEnd)
+	}
+	res.Tables = append(res.Tables, ablation)
+	res.Notes = append(res.Notes,
+		"expected shape: without repair, permanent failures erode replicas toward loss; with repair, replicas hold near r",
+		"expected shape: tiny grace windows over-repair transient reboots (more transfers for equal replicas) — the paper's relaxation argument")
+	return res
+}
+
+// runC8 is the headline comparison: epidemic persistent layer vs the
+// structured (Cassandra-style) baseline under increasing churn — data
+// availability and repair traffic (§I and §III-A).
+func runC8(p Params) *Result {
+	res := &Result{
+		ID:    "C8",
+		Title: "Availability under churn: epidemic layer vs structured DHT baseline",
+	}
+	n := p.scaled(200, 60)
+	keys := p.scaled(150, 40)
+	r := 3
+	detectLag := 10
+
+	table := metrics.NewTable("availability and repair traffic vs churn",
+		"churn", "system", "availability", "mean replicas", "repair transfers")
+	for _, preset := range []workload.ChurnPreset{workload.ChurnNone, workload.ChurnLow, workload.ChurnModerate, workload.ChurnHigh} {
+		// --- Epidemic system.
+		ecfg := epidemic.Config{
+			Replication: r, FanoutC: 2, AntiEntropyEvery: 10,
+			Repair: repair.Config{CheckEvery: 5, Grace: 12, Walks: 48, TTL: 6, WaitRounds: 9},
+		}
+		ef := buildEpidemicFixture(n, p.Seed+int64(len(preset)), ecfg)
+		ef.net.Run(30)
+		for i := 0; i < keys; i++ {
+			ef.write(i, &tuple.Tuple{Key: workload.Key(i), Value: []byte("v"), Version: tuple.Version{Seq: 1, Writer: 1}})
+		}
+		ef.net.Run(20)
+		ecc := workload.ChurnConfig(preset)
+		ecc.Spawn = ef.spawner(ecfg)
+		ecc.JoinPerRound = ecc.PermanentPerRound * float64(n)
+		ech := sim.NewChurner(ef.net, ecc, p.Seed+1)
+		for i := 0; i < 120; i++ {
+			ech.Step()
+			ef.net.Step()
+		}
+		var avail, reps float64
+		for i := 0; i < keys; i++ {
+			h := ef.holders(workload.Key(i))
+			if h > 0 {
+				avail++
+			}
+			reps += float64(h)
+		}
+		var etraffic int64
+		for _, en := range ef.nodes {
+			if en.Repair != nil {
+				etraffic += en.Repair.Pushed + en.Repair.Handoffs
+			}
+		}
+		table.AddRow(string(preset), "epidemic", avail/float64(keys), reps/float64(keys), etraffic)
+
+		// --- Structured baseline.
+		bnet := sim.New(sim.Config{Seed: p.Seed + int64(len(preset)) + 1000})
+		provider := baseline.NewDelayedViewProvider(detectLag)
+		bcfg := baseline.Config{Replicas: r, Vnodes: 16, CheckEvery: 5, View: provider.View}
+		bnodes := make(map[node.ID]*baseline.Node, n)
+		for i := 0; i < n; i++ {
+			bnet.Spawn(func(id node.ID, rng *rand.Rand) sim.Machine {
+				bn := baseline.New(id, rng, bcfg)
+				bnodes[id] = bn
+				return bn
+			})
+		}
+		step := func() {
+			provider.Record(bnet.AliveIDs())
+			bnet.Step()
+		}
+		for i := 0; i < 5; i++ {
+			step()
+		}
+		for i := 0; i < keys; i++ {
+			coord := bnodes[node.ID(i%n+1)]
+			bnet.Emit(node.ID(i%n+1), coord.Put(bnet.Round(), &tuple.Tuple{
+				Key: workload.Key(i), Value: []byte("v"), Version: tuple.Version{Seq: 1, Writer: 1},
+			}))
+		}
+		for i := 0; i < 10; i++ {
+			step()
+		}
+		bcc := workload.ChurnConfig(preset)
+		bcc.Spawn = func(id node.ID, rng *rand.Rand) sim.Machine {
+			bn := baseline.New(id, rng, bcfg)
+			bnodes[id] = bn
+			return bn
+		}
+		bcc.JoinPerRound = bcc.PermanentPerRound * float64(n)
+		bch := sim.NewChurner(bnet, bcc, p.Seed+2)
+		for i := 0; i < 120; i++ {
+			bch.Step()
+			step()
+		}
+		var bavail, breps float64
+		for i := 0; i < keys; i++ {
+			h := 0
+			for id, bn := range bnodes {
+				if bnet.Alive(id) && bn.Has(workload.Key(i)) {
+					h++
+				}
+			}
+			if h > 0 {
+				bavail++
+			}
+			breps += float64(h)
+		}
+		var btraffic int64
+		for _, bn := range bnodes {
+			btraffic += bn.Transferred
+		}
+		table.AddRow(string(preset), "baseline", bavail/float64(keys), breps/float64(keys), btraffic)
+	}
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes,
+		"expected shape: both near 1.0 availability at low churn; as churn rises the baseline's availability degrades (detection lag + reactive streaming) while its repair traffic grows with churn",
+		"the epidemic layer masks transient failures (anti-entropy + grace) and keeps traffic flatter — the paper's core architectural claim")
+	return res
+}

@@ -1,0 +1,239 @@
+package gossip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"datadroplets/internal/membership"
+	"datadroplets/internal/node"
+	"datadroplets/internal/sim"
+)
+
+// cluster wires n Disseminators over a UniformView of the population.
+type cluster struct {
+	net      *sim.Network
+	ids      []node.ID
+	machines map[node.ID]*Disseminator
+}
+
+func newCluster(n int, seed int64, cfg Config) *cluster {
+	c := &cluster{
+		net:      sim.New(sim.Config{Seed: seed}),
+		machines: make(map[node.ID]*Disseminator, n),
+	}
+	ids := make([]node.ID, n)
+	for i := range ids {
+		ids[i] = node.ID(i + 1)
+	}
+	c.ids = ids
+	pop := func() []node.ID { return ids }
+	for i := 0; i < n; i++ {
+		c.net.Spawn(func(id node.ID, rng *rand.Rand) sim.Machine {
+			d := New(id, rng, membership.NewUniformView(id, rng, pop), cfg)
+			c.machines[id] = d
+			return d
+		})
+	}
+	return c
+}
+
+func (c *cluster) infected(id uint64) int {
+	n := 0
+	for _, d := range c.machines {
+		if d.Seen(id) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPublishDeliversLocally(t *testing.T) {
+	delivered := 0
+	cfg := Config{Fanout: FixedFanout(3), OnDeliver: func(r Rumor) { delivered++ }}
+	c := newCluster(10, 1, cfg)
+	d := c.machines[1]
+	id, envs := d.Publish(0, "payload")
+	if delivered == 0 {
+		t.Fatal("publisher did not deliver its own rumor")
+	}
+	if !d.Seen(id) {
+		t.Fatal("publisher does not mark rumor seen")
+	}
+	if len(envs) != 3 {
+		t.Fatalf("initial relays = %d, want 3", len(envs))
+	}
+}
+
+func TestInfectionSpreadsWithHealthyFanout(t *testing.T) {
+	const n = 2000
+	cfg := Config{Fanout: FixedFanout(math.Log(n) + 3)}
+	c := newCluster(n, 7, cfg)
+	d := c.machines[1]
+	id, envs := d.Publish(c.net.Round(), "x")
+	c.net.Emit(1, envs)
+	c.net.Quiesce(50)
+	got := c.infected(id)
+	// P(atomic) at c=3 is e^(-e^-3) ≈ 0.951; even a non-atomic outcome
+	// reaches all but a handful of nodes.
+	if got < n-10 {
+		t.Fatalf("infected %d of %d with fanout ln(n)+3", got, n)
+	}
+}
+
+func TestSubcriticalFanoutDiesOut(t *testing.T) {
+	const n = 2000
+	cfg := Config{Fanout: FixedFanout(0.5)}
+	c := newCluster(n, 9, cfg)
+	id, envs := c.machines[1].Publish(c.net.Round(), "x")
+	c.net.Emit(1, envs)
+	c.net.Quiesce(200)
+	got := c.infected(id)
+	// Sub-critical branching process: expected total infections are tiny.
+	if got > n/10 {
+		t.Fatalf("infected %d of %d with fanout 0.5, expected die-out", got, n)
+	}
+}
+
+func TestDuplicatesSuppressed(t *testing.T) {
+	cfg := Config{Fanout: FixedFanout(2)}
+	c := newCluster(50, 11, cfg)
+	id, envs := c.machines[1].Publish(c.net.Round(), "x")
+	c.net.Emit(1, envs)
+	c.net.Quiesce(50)
+	for _, d := range c.machines {
+		if d.Delivered > 1 {
+			t.Fatalf("node delivered rumor %d times", d.Delivered)
+		}
+	}
+	_ = id
+}
+
+func TestHopsIncrease(t *testing.T) {
+	cfg := Config{Fanout: FixedFanout(4)}
+	c := newCluster(500, 13, cfg)
+	id, envs := c.machines[1].Publish(c.net.Round(), "x")
+	c.net.Emit(1, envs)
+	c.net.Quiesce(50)
+	if h := c.machines[1].HopsOf(id); h != 0 {
+		t.Fatalf("publisher hops = %d, want 0", h)
+	}
+	maxHops := 0
+	for _, d := range c.machines {
+		if h := d.HopsOf(id); h > maxHops {
+			maxHops = h
+		}
+	}
+	if maxHops < 2 {
+		t.Fatalf("max hops = %d, expected multi-hop spread", maxHops)
+	}
+	// Expected infection time is O(log n); allow slack but catch blowups.
+	if maxHops > 40 {
+		t.Fatalf("max hops = %d, spread took too long", maxHops)
+	}
+}
+
+func TestAntiEntropyRecoversMissedRumor(t *testing.T) {
+	const n = 40
+	cfg := Config{Fanout: FixedFanout(3), AntiEntropyEvery: 2}
+	c := newCluster(n, 17, cfg)
+	// Take node 40 down, disseminate, bring it back: only anti-entropy
+	// can deliver the rumor to it.
+	c.net.Kill(40, false)
+	id, envs := c.machines[1].Publish(c.net.Round(), "x")
+	c.net.Emit(1, envs)
+	c.net.Quiesce(30)
+	if c.machines[40].Seen(id) {
+		t.Fatal("dead node saw the rumor")
+	}
+	c.net.Revive(40)
+	c.net.Run(20)
+	if !c.machines[40].Seen(id) {
+		t.Fatal("anti-entropy did not recover the rumor after revival")
+	}
+}
+
+func TestRetentionPrunes(t *testing.T) {
+	cfg := Config{Fanout: FixedFanout(0), Retention: 5}
+	c := newCluster(2, 19, cfg)
+	d := c.machines[1]
+	id, _ := d.Publish(c.net.Round(), "x")
+	c.net.Run(10)
+	if d.Seen(id) {
+		t.Fatal("rumor survived past retention window")
+	}
+}
+
+func TestFanoutLnN(t *testing.T) {
+	f := FanoutLnN(func() float64 { return 50000 }, 7)
+	got := f()
+	want := math.Log(50000) + 7
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("fanout = %v, want %v", got, want)
+	}
+	if got < 17.8 || got > 17.9 {
+		t.Fatalf("paper's worked example: ln(50000)+7 = %v, expected ≈17.82 (≈18 relays)", got)
+	}
+	// Degenerate size estimates must not produce negative or NaN fanout.
+	if f2 := FanoutLnN(func() float64 { return 0 }, -5)(); f2 != 0 {
+		t.Fatalf("clamped fanout = %v, want 0", f2)
+	}
+}
+
+func TestFractionalFanoutExpectation(t *testing.T) {
+	cfg := Config{Fanout: FixedFanout(2.5)}
+	c := newCluster(100, 23, cfg)
+	d := c.machines[1]
+	total := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		_, envs := d.Publish(c.net.Round(), i)
+		total += len(envs)
+	}
+	mean := float64(total) / trials
+	if mean < 2.3 || mean > 2.7 {
+		t.Fatalf("mean relays = %v, want ≈2.5", mean)
+	}
+}
+
+func TestRumorIDsUnique(t *testing.T) {
+	cfg := Config{Fanout: FixedFanout(0)}
+	c := newCluster(3, 29, cfg)
+	seen := map[uint64]bool{}
+	for _, d := range c.machines {
+		for i := 0; i < 100; i++ {
+			id := d.NewRumorID()
+			if seen[id] {
+				t.Fatalf("duplicate rumor ID %x", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestAtomicInfectionProbabilityMatchesTheory is the in-package miniature
+// of experiment C1: at c=1 the analytic atomic-infection probability is
+// e^(-e^-1) ≈ 0.692. We run 60 trials and accept a generous band.
+func TestAtomicInfectionProbabilityMatchesTheory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short")
+	}
+	const n = 400
+	const trials = 60
+	atomic := 0
+	for trial := 0; trial < trials; trial++ {
+		cfg := Config{Fanout: FixedFanout(math.Log(n) + 1)}
+		c := newCluster(n, int64(1000+trial), cfg)
+		id, envs := c.machines[1].Publish(c.net.Round(), "x")
+		c.net.Emit(1, envs)
+		c.net.Quiesce(60)
+		if c.infected(id) == n {
+			atomic++
+		}
+	}
+	p := float64(atomic) / trials
+	want := math.Exp(-math.Exp(-1)) // ≈ 0.692
+	if math.Abs(p-want) > 0.2 {
+		t.Fatalf("P(atomic) = %v over %d trials, analytic %v", p, trials, want)
+	}
+}

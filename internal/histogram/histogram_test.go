@@ -1,0 +1,329 @@
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"datadroplets/internal/membership"
+	"datadroplets/internal/node"
+	"datadroplets/internal/sim"
+)
+
+func normalSamples(n int, mean, std float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mean + std*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestBuildEquiDepthDegenerate(t *testing.T) {
+	if BuildEquiDepth(nil, 10) != nil {
+		t.Fatal("empty samples should yield nil histogram")
+	}
+	if BuildEquiDepth([]float64{1}, 0) != nil {
+		t.Fatal("zero buckets should yield nil histogram")
+	}
+	h := BuildEquiDepth([]float64{5}, 4)
+	if h == nil || h.Min() != 5 || h.Max() != 5 {
+		t.Fatal("single sample histogram malformed")
+	}
+}
+
+func TestEquiDepthCDFMonotone(t *testing.T) {
+	h := BuildEquiDepth(normalSamples(5000, 0, 1, 1), 20)
+	prev := -1.0
+	for x := -4.0; x <= 4.0; x += 0.1 {
+		c := h.CDF(x)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %v: %v < %v", x, c, prev)
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("CDF out of range at %v: %v", x, c)
+		}
+		prev = c
+	}
+	if h.CDF(-100) != 0 || h.CDF(100) != 1 {
+		t.Fatal("CDF tails wrong")
+	}
+}
+
+func TestEquiDepthQuantileInvertsCDF(t *testing.T) {
+	h := BuildEquiDepth(normalSamples(5000, 10, 2, 2), 40)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		x := h.Quantile(q)
+		back := h.CDF(x)
+		if math.Abs(back-q) > 0.05 {
+			t.Fatalf("CDF(Quantile(%v)) = %v", q, back)
+		}
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Fatal("quantile endpoints wrong")
+	}
+}
+
+func TestEquiDepthMatchesNormal(t *testing.T) {
+	// With many samples the equi-depth median and central bucket widths
+	// should reflect the normal shape: buckets near the mean are narrower
+	// than tail buckets — the density-adaptive property sieves rely on.
+	h := BuildEquiDepth(normalSamples(20000, 0, 1, 3), 20)
+	if math.Abs(h.Quantile(0.5)) > 0.05 {
+		t.Fatalf("median = %v, want ≈0", h.Quantile(0.5))
+	}
+	b := h.Bounds()
+	central := b[10+1] - b[10-1]
+	tail := b[2] - b[0]
+	if central >= tail {
+		t.Fatalf("central width %v not finer than tail width %v", central, tail)
+	}
+}
+
+func TestKSAgainstSamples(t *testing.T) {
+	src := normalSamples(10000, 0, 1, 4)
+	h := BuildEquiDepth(src, 30)
+	if ks := h.KSAgainstSamples(src); ks > 0.05 {
+		t.Fatalf("KS against own samples = %v", ks)
+	}
+	shifted := normalSamples(10000, 3, 1, 5)
+	if ks := h.KSAgainstSamples(shifted); ks < 0.5 {
+		t.Fatalf("KS against shifted distribution = %v, want large", ks)
+	}
+	if !math.IsNaN(h.KSAgainstSamples(nil)) {
+		t.Fatal("KS of empty samples should be NaN")
+	}
+}
+
+func TestKMVDistinctEstimate(t *testing.T) {
+	tests := []struct {
+		distinct int
+		k        int
+		tol      float64
+	}{
+		{100, 128, 0},     // sketch not full: exact
+		{10000, 256, 0.2}, // estimate within 20%
+		{50000, 512, 0.15},
+	}
+	for _, tt := range tests {
+		t.Run(fmt.Sprintf("n%d_k%d", tt.distinct, tt.k), func(t *testing.T) {
+			s := NewKMV(tt.k)
+			for i := 0; i < tt.distinct; i++ {
+				s.Add(fmt.Sprintf("key-%d", i), 0, float64(i))
+			}
+			est := s.DistinctEstimate()
+			relErr := math.Abs(est-float64(tt.distinct)) / float64(tt.distinct)
+			if relErr > tt.tol+1e-9 {
+				t.Fatalf("estimate %v for %d distinct (rel err %v)", est, tt.distinct, relErr)
+			}
+		})
+	}
+}
+
+func TestKMVDuplicateInsensitive(t *testing.T) {
+	a := NewKMV(128)
+	b := NewKMV(128)
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		a.Add(key, 7, float64(i))
+		// b sees every item 5 times — like r=5 replication.
+		for rep := 0; rep < 5; rep++ {
+			b.Add(key, 7, float64(i))
+		}
+	}
+	if a.DistinctEstimate() != b.DistinctEstimate() {
+		t.Fatalf("duplicates changed estimate: %v vs %v",
+			a.DistinctEstimate(), b.DistinctEstimate())
+	}
+}
+
+func TestKMVMergeCommutativeIdempotent(t *testing.T) {
+	build := func(lo, hi int) *KMV {
+		s := NewKMV(64)
+		for i := lo; i < hi; i++ {
+			s.Add(fmt.Sprintf("k%d", i), 1, float64(i))
+		}
+		return s
+	}
+	ab := build(0, 500)
+	ab.Merge(build(500, 1000))
+	ba := build(500, 1000)
+	ba.Merge(build(0, 500))
+	if ab.DistinctEstimate() != ba.DistinctEstimate() {
+		t.Fatal("merge not commutative")
+	}
+	again := ab.Clone()
+	again.Merge(ab)
+	if again.DistinctEstimate() != ab.DistinctEstimate() {
+		t.Fatal("merge not idempotent")
+	}
+}
+
+func TestKMVMergeEqualsUnion(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		rngA := rand.New(rand.NewSource(seedA))
+		rngB := rand.New(rand.NewSource(seedB))
+		a, b, u := NewKMV(32), NewKMV(32), NewKMV(32)
+		for i := 0; i < 200; i++ {
+			ka := fmt.Sprintf("a%d", rngA.Intn(500))
+			kb := fmt.Sprintf("b%d", rngB.Intn(500))
+			a.Add(ka, 0, 1)
+			u.Add(ka, 0, 1)
+			b.Add(kb, 0, 2)
+			u.Add(kb, 0, 2)
+		}
+		m := a.Clone()
+		m.Merge(b)
+		if m.Len() != u.Len() {
+			return false
+		}
+		me, ue := m.Entries(), u.Entries()
+		for i := range me {
+			if me[i] != ue[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(6))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMVValuesAreUniformSample(t *testing.T) {
+	// Insert values 0..9999; the retained sample's mean should be close
+	// to the population mean (uniform sampling property).
+	s := NewKMV(512)
+	for i := 0; i < 10000; i++ {
+		s.Add(fmt.Sprintf("key-%d", i), 3, float64(i))
+	}
+	var mean float64
+	for _, v := range s.Values() {
+		mean += v
+	}
+	mean /= float64(s.Len())
+	if math.Abs(mean-5000) > 700 {
+		t.Fatalf("sample mean = %v, want ≈5000", mean)
+	}
+}
+
+// estimator network helpers ------------------------------------------------
+
+type estCluster struct {
+	net      *sim.Network
+	machines map[node.ID]*Estimator
+	ids      []node.ID
+}
+
+func newEstCluster(n int, seed int64, data func(i int) []float64, cfg EstimatorConfig) *estCluster {
+	c := &estCluster{
+		net:      sim.New(sim.Config{Seed: seed}),
+		machines: make(map[node.ID]*Estimator, n),
+	}
+	ids := make([]node.ID, n)
+	for i := range ids {
+		ids[i] = node.ID(i + 1)
+	}
+	c.ids = ids
+	pop := func() []node.ID { return ids }
+	for i := 0; i < n; i++ {
+		vals := data(i)
+		idx := i
+		c.net.Spawn(func(id node.ID, rng *rand.Rand) sim.Machine {
+			local := cfg
+			local.Local = func(emit func(string, float64)) {
+				for j, v := range vals {
+					emit(fmt.Sprintf("n%d-k%d", idx, j), v)
+				}
+			}
+			e := NewEstimator(id, rng, membership.NewUniformView(id, rng, pop), local)
+			c.machines[id] = e
+			return e
+		})
+	}
+	return c
+}
+
+func TestEstimatorConvergesToGlobalDistribution(t *testing.T) {
+	const n = 100
+	const perNode = 50
+	all := make([]float64, 0, n*perNode)
+	rng := rand.New(rand.NewSource(42))
+	data := make([][]float64, n)
+	for i := range data {
+		vals := make([]float64, perNode)
+		for j := range vals {
+			vals[j] = rng.NormFloat64()
+		}
+		data[i] = vals
+		all = append(all, vals...)
+	}
+	c := newEstCluster(n, 7, func(i int) []float64 { return data[i] },
+		EstimatorConfig{K: 512, EpochLen: 25, Buckets: 20})
+	c.net.Run(24) // within first epoch: ~log2(100)+margin exchanges
+	// Every node's histogram should match the global empirical CDF.
+	for _, probe := range []node.ID{1, 50, 100} {
+		h := c.machines[probe].Histogram()
+		if h == nil {
+			t.Fatalf("node %v has no histogram", probe)
+		}
+		if ks := h.KSAgainstSamples(all); ks > 0.12 {
+			t.Fatalf("node %v KS = %v after convergence", probe, ks)
+		}
+	}
+	// Distinct estimate should be near n*perNode.
+	est := c.machines[1].DistinctEstimate()
+	if est < 3500 || est > 6500 {
+		t.Fatalf("distinct estimate = %v, want ≈5000", est)
+	}
+}
+
+func TestEstimatorEpochRestart(t *testing.T) {
+	c := newEstCluster(20, 9, func(i int) []float64 { return []float64{float64(i)} },
+		EstimatorConfig{K: 64, EpochLen: 10, Buckets: 5})
+	c.net.Run(25) // crosses two epoch boundaries
+	e := c.machines[1]
+	if e.epoch == 0 {
+		t.Fatal("epoch did not advance")
+	}
+	if e.Histogram() == nil {
+		t.Fatal("histogram unavailable after epoch restart")
+	}
+}
+
+func TestEstimatorSurvivesChurn(t *testing.T) {
+	const n = 80
+	rng := rand.New(rand.NewSource(5))
+	data := make([][]float64, n)
+	all := make([]float64, 0, n*20)
+	for i := range data {
+		vals := make([]float64, 20)
+		for j := range vals {
+			vals[j] = rng.ExpFloat64()
+		}
+		data[i] = vals
+		all = append(all, vals...)
+	}
+	c := newEstCluster(n, 11, func(i int) []float64 { return data[i] },
+		EstimatorConfig{K: 256, EpochLen: 20, Buckets: 15})
+	ch := sim.NewChurner(c.net, sim.ChurnConfig{TransientPerRound: 0.02, MeanDowntime: 4}, 13)
+	for i := 0; i < 60; i++ {
+		ch.Step()
+		c.net.Step()
+	}
+	// Pick an alive node and check its estimate is still sane.
+	for _, id := range c.net.AliveIDs() {
+		h := c.machines[id].Histogram()
+		if h == nil {
+			continue
+		}
+		if ks := h.KSAgainstSamples(all); ks > 0.25 {
+			t.Fatalf("node %v KS = %v under churn", id, ks)
+		}
+		return
+	}
+	t.Fatal("no alive node with histogram found")
+}

@@ -1,0 +1,216 @@
+package membership
+
+import (
+	"math/rand"
+	"sort"
+
+	"datadroplets/internal/node"
+	"datadroplets/internal/sim"
+)
+
+// Cyclon implements the enhanced-shuffling peer-sampling protocol: each
+// node keeps a small partial view of (peer, age) descriptors; every round
+// it contacts its oldest peer and the two swap random subsets of their
+// views. The result approximates a random graph with near-uniform
+// in-degree, which is the property the fanout analysis of §III-A needs.
+type Cyclon struct {
+	self node.ID
+	rng  *rand.Rand
+
+	viewSize    int
+	shuffleSize int
+
+	view []cyclonEntry
+
+	// pending tracks the entries sent in an outstanding shuffle request so
+	// the reply can replace exactly those slots.
+	pending []cyclonEntry
+}
+
+type cyclonEntry struct {
+	id  node.ID
+	age int
+}
+
+// Cyclon protocol messages.
+type (
+	// ShuffleReq carries a subset of the sender's view (sender included
+	// with age 0).
+	ShuffleReq struct{ Entries []CyclonDescriptor }
+	// ShuffleResp carries the receiver's answering subset.
+	ShuffleResp struct{ Entries []CyclonDescriptor }
+)
+
+// CyclonDescriptor is the wire form of a view entry.
+type CyclonDescriptor struct {
+	ID  node.ID
+	Age int
+}
+
+var _ sim.Machine = (*Cyclon)(nil)
+var _ Sampler = (*Cyclon)(nil)
+
+// NewCyclon builds a Cyclon instance with the given view and shuffle
+// sizes, bootstrapped from seeds (typically a handful of contact nodes).
+func NewCyclon(self node.ID, rng *rand.Rand, viewSize, shuffleSize int, seeds []node.ID) *Cyclon {
+	if shuffleSize > viewSize {
+		shuffleSize = viewSize
+	}
+	c := &Cyclon{self: self, rng: rng, viewSize: viewSize, shuffleSize: shuffleSize}
+	for _, s := range seeds {
+		if s != self && len(c.view) < viewSize {
+			c.view = append(c.view, cyclonEntry{id: s})
+		}
+	}
+	return c
+}
+
+// Start implements sim.Machine. A rebooting node keeps its (stale) view;
+// Cyclon's aging naturally cycles stale entries out.
+func (c *Cyclon) Start(now sim.Round) []sim.Envelope { return nil }
+
+// Tick performs one shuffle initiation.
+func (c *Cyclon) Tick(now sim.Round) []sim.Envelope {
+	if len(c.view) == 0 {
+		return nil
+	}
+	// Age all entries and pick the oldest peer as the shuffle target;
+	// contacting the oldest is what evicts dead peers quickly.
+	oldest := 0
+	for i := range c.view {
+		c.view[i].age++
+		if c.view[i].age > c.view[oldest].age {
+			oldest = i
+		}
+	}
+	target := c.view[oldest].id
+	// Remove the target from the view (it will be replaced by entries
+	// from the reply; if it is dead, it is now forgotten).
+	c.view[oldest] = c.view[len(c.view)-1]
+	c.view = c.view[:len(c.view)-1]
+
+	subset := c.randomSubset(c.shuffleSize - 1)
+	c.pending = append([]cyclonEntry(nil), subset...)
+	entries := make([]CyclonDescriptor, 0, len(subset)+1)
+	entries = append(entries, CyclonDescriptor{ID: c.self, Age: 0})
+	for _, e := range subset {
+		entries = append(entries, CyclonDescriptor{ID: e.id, Age: e.age})
+	}
+	return []sim.Envelope{{To: target, Msg: ShuffleReq{Entries: entries}}}
+}
+
+// Handle implements sim.Machine.
+func (c *Cyclon) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
+	switch m := msg.(type) {
+	case ShuffleReq:
+		reply := c.randomSubset(c.shuffleSize)
+		entries := make([]CyclonDescriptor, 0, len(reply))
+		for _, e := range reply {
+			entries = append(entries, CyclonDescriptor{ID: e.id, Age: e.age})
+		}
+		c.merge(m.Entries, reply)
+		return []sim.Envelope{{To: from, Msg: ShuffleResp{Entries: entries}}}
+	case ShuffleResp:
+		c.merge(m.Entries, c.pending)
+		c.pending = nil
+	}
+	return nil
+}
+
+// randomSubset picks up to n entries from the view without removing them.
+func (c *Cyclon) randomSubset(n int) []cyclonEntry {
+	if n <= 0 || len(c.view) == 0 {
+		return nil
+	}
+	idx := c.rng.Perm(len(c.view))
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([]cyclonEntry, 0, n)
+	for _, i := range idx[:n] {
+		out = append(out, c.view[i])
+	}
+	return out
+}
+
+// merge incorporates received descriptors: fill empty slots first, then
+// replace the entries we sent away, never duplicating existing peers or
+// admitting self.
+func (c *Cyclon) merge(received []CyclonDescriptor, sent []cyclonEntry) {
+	sentIdx := map[node.ID]bool{}
+	for _, e := range sent {
+		sentIdx[e.id] = true
+	}
+	have := map[node.ID]int{}
+	for i, e := range c.view {
+		have[e.id] = i
+	}
+	for _, d := range received {
+		if d.ID == c.self {
+			continue
+		}
+		if i, ok := have[d.ID]; ok {
+			// Keep the fresher descriptor.
+			if d.Age < c.view[i].age {
+				c.view[i].age = d.Age
+			}
+			continue
+		}
+		switch {
+		case len(c.view) < c.viewSize:
+			c.view = append(c.view, cyclonEntry{id: d.ID, age: d.Age})
+			have[d.ID] = len(c.view) - 1
+		default:
+			// Replace one of the entries we shipped out, if any remain.
+			replaced := false
+			for i, e := range c.view {
+				if sentIdx[e.id] {
+					delete(have, e.id)
+					delete(sentIdx, e.id)
+					c.view[i] = cyclonEntry{id: d.ID, age: d.Age}
+					have[d.ID] = i
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				return // view full and nothing replaceable
+			}
+		}
+	}
+}
+
+// Sample implements Sampler over the current partial view.
+func (c *Cyclon) Sample(k int) []node.ID {
+	if k <= 0 || len(c.view) == 0 {
+		return nil
+	}
+	idx := c.rng.Perm(len(c.view))
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]node.ID, 0, k)
+	for _, i := range idx[:k] {
+		out = append(out, c.view[i].id)
+	}
+	return out
+}
+
+// One implements Sampler.
+func (c *Cyclon) One() node.ID {
+	s := c.Sample(1)
+	if len(s) == 0 {
+		return node.None
+	}
+	return s[0]
+}
+
+// View returns the current peer IDs, sorted, for inspection and tests.
+func (c *Cyclon) View() []node.ID {
+	out := make([]node.ID, 0, len(c.view))
+	for _, e := range c.view {
+		out = append(out, e.id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,80 @@
+// Package membership provides the peer-sampling service the epidemic
+// layer builds on: every protocol that "picks fanout random peers" takes
+// a Sampler, and the package offers two interchangeable implementations.
+//
+// UniformView samples from a directly maintained population list. It
+// matches the analytical model behind the paper's fanout math (uniform
+// random peer selection) and is what the large-scale experiments use.
+//
+// Cyclon is a full implementation of the shuffle-based peer-sampling
+// protocol the literature (and the paper's references [19]-[21]) assumes
+// as the substrate: bounded partial views, age-based eviction, and an
+// in-degree distribution that converges to near-uniform. It exists to
+// demonstrate that nothing in DataDroplets needs global membership — the
+// paper's headline dig at Cassandra ("knowing all nodes ... is
+// unattainable") — and its statistical quality is validated in tests and
+// experiment C1's sensitivity run.
+package membership
+
+import (
+	"math/rand"
+
+	"datadroplets/internal/node"
+)
+
+// Sampler yields peers for gossip exchanges.
+type Sampler interface {
+	// Sample returns up to k distinct peers, never including the local
+	// node. Fewer than k are returned only when the view is smaller.
+	Sample(k int) []node.ID
+	// One returns a single peer, or node.None if the view is empty.
+	One() node.ID
+}
+
+// UniformView is a Sampler over an externally maintained population list.
+// The provider is queried on every sample so churn experiments can hand it
+// the simulator's population (stale entries included — messages to dead
+// nodes are simply lost, as in a real deployment with stale views).
+type UniformView struct {
+	self     node.ID
+	rng      *rand.Rand
+	provider func() []node.ID
+}
+
+var _ Sampler = (*UniformView)(nil)
+
+// NewUniformView builds a sampler for self over the provider's list.
+func NewUniformView(self node.ID, rng *rand.Rand, provider func() []node.ID) *UniformView {
+	return &UniformView{self: self, rng: rng, provider: provider}
+}
+
+// Sample draws up to k distinct peers uniformly without replacement.
+func (u *UniformView) Sample(k int) []node.ID {
+	all := u.provider()
+	if k <= 0 || len(all) == 0 {
+		return nil
+	}
+	// Partial Fisher-Yates over a copy: O(k) swaps.
+	pool := make([]node.ID, len(all))
+	copy(pool, all)
+	out := make([]node.ID, 0, k)
+	n := len(pool)
+	for i := 0; i < n && len(out) < k; i++ {
+		j := i + u.rng.Intn(n-i)
+		pool[i], pool[j] = pool[j], pool[i]
+		if pool[i] == u.self {
+			continue
+		}
+		out = append(out, pool[i])
+	}
+	return out
+}
+
+// One returns a single uniform peer.
+func (u *UniformView) One() node.ID {
+	s := u.Sample(1)
+	if len(s) == 0 {
+		return node.None
+	}
+	return s[0]
+}

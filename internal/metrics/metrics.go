@@ -1,0 +1,255 @@
+// Package metrics provides the small statistics toolkit used by the
+// simulator, the experiment harness and the live node: counters, value
+// distributions with exact quantiles, and fixed-width table / CSV
+// rendering so every experiment can print the row/series shape reported
+// in the paper.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counter is a monotonically increasing counter, safe for concurrent use
+// (the live transport increments from multiple goroutines; the simulator
+// uses it single-threaded).
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Dist collects float64 observations and answers exact order statistics.
+// It keeps all samples; experiment scales (≤ millions of points) make this
+// the simplest correct choice, and exactness matters when validating
+// analytic claims like P(atomic) = e^(-e^(-c)).
+type Dist struct {
+	mu     sync.Mutex
+	vals   []float64
+	sorted bool
+}
+
+// NewDist returns a distribution with capacity preallocated.
+func NewDist(capacity int) *Dist {
+	return &Dist{vals: make([]float64, 0, capacity)}
+}
+
+// Observe records one sample.
+func (d *Dist) Observe(v float64) {
+	d.mu.Lock()
+	d.vals = append(d.vals, v)
+	d.sorted = false
+	d.mu.Unlock()
+}
+
+// N returns the number of samples.
+func (d *Dist) N() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.vals)
+}
+
+// ensureSorted must be called with the lock held.
+func (d *Dist) ensureSorted() {
+	if !d.sorted {
+		sort.Float64s(d.vals)
+		d.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank, or NaN if
+// empty.
+func (d *Dist) Quantile(q float64) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.vals) == 0 {
+		return math.NaN()
+	}
+	d.ensureSorted()
+	if q <= 0 {
+		return d.vals[0]
+	}
+	if q >= 1 {
+		return d.vals[len(d.vals)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(d.vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return d.vals[idx]
+}
+
+// Mean returns the arithmetic mean, or NaN if empty.
+func (d *Dist) Mean() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.vals) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range d.vals {
+		s += v
+	}
+	return s / float64(len(d.vals))
+}
+
+// Stddev returns the population standard deviation, or NaN if empty.
+func (d *Dist) Stddev() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.vals)
+	if n == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range d.vals {
+		s += v
+	}
+	mean := s / float64(n)
+	var ss float64
+	for _, v := range d.vals {
+		dv := v - mean
+		ss += dv * dv
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Min returns the smallest sample, or NaN if empty.
+func (d *Dist) Min() float64 { return d.Quantile(0) }
+
+// Max returns the largest sample, or NaN if empty.
+func (d *Dist) Max() float64 { return d.Quantile(1) }
+
+// Sum returns the sum of all samples.
+func (d *Dist) Sum() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var s float64
+	for _, v := range d.vals {
+		s += v
+	}
+	return s
+}
+
+// Table renders experiment results as a fixed-width text table and as CSV,
+// matching the "same rows/series the paper reports" requirement of the
+// harness.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 0.01 || v == 0:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.3e", v)
+	}
+}
+
+// String renders the fixed-width table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Headers)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, cell := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(cell, ",\"\n") {
+			cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+		}
+		b.WriteString(cell)
+	}
+	b.WriteByte('\n')
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestDistQuantiles(t *testing.T) {
+	d := NewDist(10)
+	for i := 1; i <= 100; i++ {
+		d.Observe(float64(i))
+	}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.5, 50}, {0.99, 99}, {1, 100},
+	}
+	for _, tt := range tests {
+		if got := d.Quantile(tt.q); got != tt.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if d.N() != 100 {
+		t.Fatalf("N = %d", d.N())
+	}
+	if got := d.Mean(); got != 50.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := d.Sum(); got != 5050 {
+		t.Fatalf("Sum = %v", got)
+	}
+	if d.Min() != 1 || d.Max() != 100 {
+		t.Fatalf("Min/Max = %v/%v", d.Min(), d.Max())
+	}
+}
+
+func TestDistEmpty(t *testing.T) {
+	d := NewDist(0)
+	if !math.IsNaN(d.Quantile(0.5)) || !math.IsNaN(d.Mean()) || !math.IsNaN(d.Stddev()) {
+		t.Fatal("empty dist should return NaN statistics")
+	}
+}
+
+func TestDistStddev(t *testing.T) {
+	d := NewDist(4)
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		d.Observe(v)
+	}
+	if got := d.Stddev(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Stddev = %v, want 2", got)
+	}
+}
+
+func TestDistObserveAfterQuantile(t *testing.T) {
+	d := NewDist(4)
+	d.Observe(3)
+	_ = d.Quantile(0.5)
+	d.Observe(1) // must re-sort
+	if got := d.Min(); got != 1 {
+		t.Fatalf("Min after late observe = %v, want 1", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "n", "value")
+	tb.AddRow(1, 0.5)
+	tb.AddRow(50000, "x,y")
+	s := tb.String()
+	if !strings.Contains(s, "== demo ==") || !strings.Contains(s, "50000") {
+		t.Fatalf("table output missing content:\n%s", s)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, "n,value\n") {
+		t.Fatalf("csv missing header: %q", csv)
+	}
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Fatalf("csv should quote cells with commas: %q", csv)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"}, {0.5, "0.5000"}, {1e-6, "1.000e-06"}, {math.NaN(), "NaN"}, {0, "0"},
+	}
+	for _, tt := range tests {
+		if got := formatFloat(tt.in); got != tt.want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package node
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIDString(t *testing.T) {
+	if got := ID(0x2a).String(); got != "n002a" {
+		t.Fatalf("ID.String() = %q, want n002a", got)
+	}
+}
+
+func TestHashKeyStable(t *testing.T) {
+	// FNV-1a of "hello" is a published constant; stability across runs and
+	// processes is what sieve determinism rests on.
+	if HashKey("hello") != HashKey("hello") {
+		t.Fatal("HashKey not deterministic")
+	}
+	if HashKey("hello") == HashKey("world") {
+		t.Fatal("HashKey collides on trivial inputs")
+	}
+	if uint64(HashKey("hello")) != fmix64(0xa430d84680aabd0b) {
+		t.Fatalf("HashKey(hello) = %x, want finalized FNV-1a constant", uint64(HashKey("hello")))
+	}
+}
+
+// TestHashKeyUniformTopBits guards against the raw-FNV clustering that
+// originally put 95% of sequential keys into one quarter of the ring.
+func TestHashKeyUniformTopBits(t *testing.T) {
+	quarter := Arc{Start: 0, Width: 1 << 62}
+	in := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if quarter.Contains(HashKey(fmt.Sprintf("key-%d", i))) {
+			in++
+		}
+	}
+	if in < n/4-200 || in > n/4+200 {
+		t.Fatalf("quarter arc holds %d of %d sequential keys, want ≈%d", in, n, n/4)
+	}
+}
+
+func TestHashPairDecorrelated(t *testing.T) {
+	// Different nodes must make independent keep decisions for the same key.
+	a := HashPair(1, "k")
+	b := HashPair(2, "k")
+	if a == b {
+		t.Fatal("HashPair identical for different nodes")
+	}
+	if HashPair(1, "k") != a {
+		t.Fatal("HashPair not deterministic")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Point
+		want uint64
+	}{
+		{"forward", 10, 30, 20},
+		{"zero", 7, 7, 0},
+		{"wrap", math.MaxUint64 - 1, 3, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Distance(tt.a, tt.b); got != tt.want {
+				t.Fatalf("Distance(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestArcContains(t *testing.T) {
+	tests := []struct {
+		name string
+		arc  Arc
+		p    Point
+		want bool
+	}{
+		{"inside", Arc{100, 50}, 120, true},
+		{"start inclusive", Arc{100, 50}, 100, true},
+		{"end exclusive", Arc{100, 50}, 150, false},
+		{"outside", Arc{100, 50}, 99, false},
+		{"wrap inside low", Arc{math.MaxUint64 - 10, 100}, 5, true},
+		{"wrap inside high", Arc{math.MaxUint64 - 10, 100}, math.MaxUint64, true},
+		{"wrap outside", Arc{math.MaxUint64 - 10, 100}, 200, false},
+		{"empty", Arc{100, 0}, 100, false},
+		{"full", FullArc(), 1234567, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.arc.Contains(tt.p); got != tt.want {
+				t.Fatalf("%v.Contains(%d) = %v, want %v", tt.arc, tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestArcFromFraction(t *testing.T) {
+	a := ArcFromFraction(0, 0.25)
+	if got := a.Fraction(); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("Fraction = %v, want 0.25", got)
+	}
+	if ArcFromFraction(0, -1).Width != 0 {
+		t.Fatal("negative fraction should clamp to empty arc")
+	}
+	if ArcFromFraction(0, 2) != FullArc() {
+		t.Fatal("fraction > 1 should clamp to full arc")
+	}
+}
+
+func TestCoverageFraction(t *testing.T) {
+	tests := []struct {
+		name string
+		arcs []Arc
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"full", []Arc{FullArc()}, 1},
+		{"half", []Arc{ArcFromFraction(0, 0.5)}, 0.5},
+		{"two disjoint quarters", []Arc{ArcFromFraction(0, 0.25), ArcFromFraction(Point(math.MaxUint64/2), 0.25)}, 0.5},
+		{"overlapping halves", []Arc{ArcFromFraction(0, 0.5), ArcFromFraction(Point(math.MaxUint64/4), 0.5)}, 0.75},
+		{"wrap plus head", []Arc{{Start: math.MaxUint64 - 999, Width: 2000}}, 2000 / math.Exp2(64)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := CoverageFraction(tt.arcs)
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Fatalf("CoverageFraction = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestUncovered(t *testing.T) {
+	t.Run("full ring has no gaps", func(t *testing.T) {
+		if gaps := Uncovered([]Arc{FullArc()}); len(gaps) != 0 {
+			t.Fatalf("gaps = %v, want none", gaps)
+		}
+	})
+	t.Run("empty input is one full gap", func(t *testing.T) {
+		gaps := Uncovered(nil)
+		if len(gaps) != 1 || gaps[0] != FullArc() {
+			t.Fatalf("gaps = %v, want full arc", gaps)
+		}
+	})
+	t.Run("single arc leaves its complement", func(t *testing.T) {
+		gaps := Uncovered([]Arc{{Start: 1000, Width: 500}})
+		if len(gaps) != 1 {
+			t.Fatalf("gaps = %v, want one", gaps)
+		}
+		if gaps[0].Start != 1500 {
+			t.Fatalf("gap start = %d, want 1500", gaps[0].Start)
+		}
+	})
+	t.Run("adjacent arcs merge", func(t *testing.T) {
+		gaps := Uncovered([]Arc{{0, 100}, {100, 100}})
+		if len(gaps) != 1 || gaps[0].Start != 200 {
+			t.Fatalf("gaps = %v, want single gap from 200", gaps)
+		}
+	})
+	t.Run("gap between spans detected", func(t *testing.T) {
+		gaps := Uncovered([]Arc{{0, 100}, {200, 100}})
+		found := false
+		for _, g := range gaps {
+			if g.Start == 100 && g.Width == 100 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("gaps = %v, want [100,200)", gaps)
+		}
+	})
+}
+
+// TestCoveragePlusGapsIsFull is the invariant the repair layer relies on:
+// covered fraction plus gap fraction must always equal 1.
+func TestCoveragePlusGapsIsFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		arcs := make([]Arc, n)
+		for i := range arcs {
+			arcs[i] = Arc{Start: Point(r.Uint64()), Width: r.Uint64() >> uint(r.Intn(40))}
+		}
+		cov := CoverageFraction(arcs)
+		var gapCov float64
+		for _, g := range Uncovered(arcs) {
+			gapCov += g.Fraction()
+		}
+		return math.Abs(cov+gapCov-1) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUncoveredPointsAreUncovered cross-checks interval math against
+// membership testing on random points.
+func TestUncoveredPointsAreUncovered(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + rng.Intn(10)
+		arcs := make([]Arc, n)
+		for i := range arcs {
+			arcs[i] = Arc{Start: Point(rng.Uint64()), Width: rng.Uint64() >> 2}
+		}
+		gaps := Uncovered(arcs)
+		for _, g := range gaps {
+			if g.Width == 0 {
+				continue
+			}
+			// Probe the first point of each gap.
+			p := g.Start
+			for _, a := range arcs {
+				if a.Contains(p) {
+					t.Fatalf("gap start %d inside arc %v", p, a)
+				}
+			}
+		}
+	}
+}
+
+func TestSuccessorIndex(t *testing.T) {
+	points := []Point{10, 20, 30}
+	tests := []struct {
+		p    Point
+		want int
+	}{
+		{5, 0}, {10, 0}, {11, 1}, {20, 1}, {25, 2}, {30, 2}, {31, 0},
+	}
+	for _, tt := range tests {
+		if got := SuccessorIndex(points, tt.p); got != tt.want {
+			t.Fatalf("SuccessorIndex(%d) = %d, want %d", tt.p, got, tt.want)
+		}
+	}
+}

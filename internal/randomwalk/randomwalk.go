@@ -1,0 +1,196 @@
+// Package randomwalk implements the uniform node sampling primitive of
+// §III-A's redundancy management: "methods based on random walks allow
+// each node to obtain an uniform sample of the data stored at other nodes
+// and eventually determine how many copies of the items it holds exist in
+// the system".
+//
+// A node launches a set of fixed-length walks; each walk ends at an
+// (approximately) uniformly sampled node, which answers a local probe —
+// "does your sieve cover ring point p?" and optionally "do you hold key
+// k?" — directly back to the origin. The fraction of positive answers
+// times N̂ estimates how many nodes are responsible for that portion of
+// the key space. Probing at sieve granularity rather than per tuple is
+// the paper's key cost reduction: "this drastically reduces random walk
+// length and the number of random walks needed as many tuples may be
+// checked at once".
+package randomwalk
+
+import (
+	"math/rand"
+
+	"datadroplets/internal/membership"
+	"datadroplets/internal/node"
+	"datadroplets/internal/sim"
+)
+
+// Query is the question a walk asks of its terminal node.
+type Query struct {
+	// Point is the ring position probed for sieve coverage.
+	Point node.Point
+	// Key optionally also asks whether the terminal node stores the key.
+	Key string
+}
+
+// Sample is one terminal node's answer.
+type Sample struct {
+	Node   node.ID
+	Covers bool // the node's sieve covers Query.Point
+	HasKey bool // the node stores Query.Key (when asked)
+}
+
+// Messages.
+type (
+	// WalkMsg hops through the overlay until TTL exhausts.
+	WalkMsg struct {
+		SetID  uint64
+		Origin node.ID
+		TTL    int
+		Query  Query
+	}
+	// WalkResult returns the terminal sample directly to the origin.
+	WalkResult struct {
+		SetID  uint64
+		Sample Sample
+	}
+)
+
+// Probe answers walk queries from local node state; the epidemic node
+// wires it to its sieve and store.
+type Probe func(q Query) (covers, hasKey bool)
+
+// Set tracks one batch of walks launched by this node.
+type Set struct {
+	ID      uint64
+	Query   Query
+	Want    int // walks launched
+	Samples []Sample
+}
+
+// Complete reports whether every launched walk has answered. Walks lost
+// to churn never answer; callers decide how long to wait.
+func (s *Set) Complete() bool { return len(s.Samples) >= s.Want }
+
+// CoverFraction is the fraction of received samples whose node covers the
+// probed point.
+func (s *Set) CoverFraction() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	c := 0
+	for _, smp := range s.Samples {
+		if smp.Covers {
+			c++
+		}
+	}
+	return float64(c) / float64(len(s.Samples))
+}
+
+// ReplicaEstimate scales the cover fraction by a system-size estimate:
+// the estimated number of nodes responsible for the probed range.
+func (s *Set) ReplicaEstimate(nEstimate float64) float64 {
+	return s.CoverFraction() * nEstimate
+}
+
+// Holders returns the sampled nodes that cover the probed point — the
+// same-range peers §III-A says should "check tuple redundancy directly
+// between them".
+func (s *Set) Holders() []node.ID {
+	var out []node.ID
+	for _, smp := range s.Samples {
+		if smp.Covers {
+			out = append(out, smp.Node)
+		}
+	}
+	return out
+}
+
+// Walker is the per-node random-walk machine.
+type Walker struct {
+	self    node.ID
+	rng     *rand.Rand
+	sampler membership.Sampler
+	probe   Probe
+
+	nextID uint64
+	sets   map[uint64]*Set
+
+	// Hops counts total walk forwards handled by this node, the cost
+	// metric of experiment C6.
+	Hops int64
+}
+
+var _ sim.Machine = (*Walker)(nil)
+
+// New builds a walker; probe must answer from node-local state only.
+func New(self node.ID, rng *rand.Rand, sampler membership.Sampler, probe Probe) *Walker {
+	return &Walker{
+		self:    self,
+		rng:     rng,
+		sampler: sampler,
+		probe:   probe,
+		sets:    make(map[uint64]*Set),
+	}
+}
+
+// Launch starts `walks` walks of length ttl for the query and returns the
+// set ID and the envelopes to emit.
+func (w *Walker) Launch(q Query, walks, ttl int) (uint64, []sim.Envelope) {
+	w.nextID++
+	id := uint64(w.self)<<32 | w.nextID
+	w.sets[id] = &Set{ID: id, Query: q, Want: walks}
+	envs := make([]sim.Envelope, 0, walks)
+	for i := 0; i < walks; i++ {
+		peer := w.sampler.One()
+		if peer == node.None {
+			continue
+		}
+		envs = append(envs, sim.Envelope{To: peer, Msg: WalkMsg{
+			SetID: id, Origin: w.self, TTL: ttl, Query: q,
+		}})
+	}
+	return id, envs
+}
+
+// Results returns the current state of a walk set.
+func (w *Walker) Results(setID uint64) (*Set, bool) {
+	s, ok := w.sets[setID]
+	return s, ok
+}
+
+// Forget releases a completed set.
+func (w *Walker) Forget(setID uint64) { delete(w.sets, setID) }
+
+// Start implements sim.Machine.
+func (w *Walker) Start(now sim.Round) []sim.Envelope { return nil }
+
+// Tick implements sim.Machine.
+func (w *Walker) Tick(now sim.Round) []sim.Envelope { return nil }
+
+// Handle implements sim.Machine.
+func (w *Walker) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
+	switch m := msg.(type) {
+	case WalkMsg:
+		w.Hops++
+		if m.TTL <= 0 {
+			covers, hasKey := false, false
+			if w.probe != nil {
+				covers, hasKey = w.probe(m.Query)
+			}
+			return []sim.Envelope{{To: m.Origin, Msg: WalkResult{
+				SetID:  m.SetID,
+				Sample: Sample{Node: w.self, Covers: covers, HasKey: hasKey},
+			}}}
+		}
+		next := w.sampler.One()
+		if next == node.None {
+			next = from // degenerate view: bounce back rather than dying
+		}
+		m.TTL--
+		return []sim.Envelope{{To: next, Msg: m}}
+	case WalkResult:
+		if s, ok := w.sets[m.SetID]; ok {
+			s.Samples = append(s.Samples, m.Sample)
+		}
+	}
+	return nil
+}

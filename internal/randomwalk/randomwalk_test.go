@@ -1,0 +1,191 @@
+package randomwalk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"datadroplets/internal/membership"
+	"datadroplets/internal/node"
+	"datadroplets/internal/sim"
+)
+
+type cluster struct {
+	net      *sim.Network
+	machines map[node.ID]*Walker
+	ids      []node.ID
+}
+
+// newCluster builds n walkers; coverFn decides which nodes claim coverage
+// of any probed point.
+func newCluster(n int, seed int64, coverFn func(id node.ID, q Query) bool) *cluster {
+	c := &cluster{
+		net:      sim.New(sim.Config{Seed: seed}),
+		machines: make(map[node.ID]*Walker, n),
+	}
+	ids := make([]node.ID, n)
+	for i := range ids {
+		ids[i] = node.ID(i + 1)
+	}
+	c.ids = ids
+	pop := func() []node.ID { return ids }
+	for i := 0; i < n; i++ {
+		c.net.Spawn(func(id node.ID, rng *rand.Rand) sim.Machine {
+			probe := func(q Query) (bool, bool) {
+				if coverFn == nil {
+					return false, false
+				}
+				return coverFn(id, q), false
+			}
+			w := New(id, rng, membership.NewUniformView(id, rng, pop), probe)
+			c.machines[id] = w
+			return w
+		})
+	}
+	return c
+}
+
+func TestWalksComplete(t *testing.T) {
+	c := newCluster(100, 3, func(id node.ID, q Query) bool { return false })
+	w := c.machines[1]
+	setID, envs := w.Launch(Query{Point: 42}, 20, 8)
+	c.net.Emit(1, envs)
+	c.net.Quiesce(30)
+	s, ok := w.Results(setID)
+	if !ok {
+		t.Fatal("set not found")
+	}
+	if !s.Complete() {
+		t.Fatalf("got %d of %d samples", len(s.Samples), s.Want)
+	}
+}
+
+func TestReplicaEstimateAccuracy(t *testing.T) {
+	// 30% of nodes cover the probed point; estimate should be ≈ 0.3*N.
+	const n = 500
+	covered := func(id node.ID, q Query) bool { return id%10 < 3 }
+	c := newCluster(n, 7, covered)
+	w := c.machines[1]
+	setID, envs := w.Launch(Query{Point: 7}, 200, 10)
+	c.net.Emit(1, envs)
+	c.net.Quiesce(30)
+	s, _ := w.Results(setID)
+	est := s.ReplicaEstimate(n)
+	if math.Abs(est-150) > 50 {
+		t.Fatalf("replica estimate %v, want ≈150", est)
+	}
+}
+
+func TestHoldersAreCoveringNodes(t *testing.T) {
+	covered := func(id node.ID, q Query) bool { return id <= 10 }
+	c := newCluster(100, 9, covered)
+	w := c.machines[50]
+	setID, envs := w.Launch(Query{Point: 1}, 100, 6)
+	c.net.Emit(50, envs)
+	c.net.Quiesce(30)
+	s, _ := w.Results(setID)
+	holders := s.Holders()
+	if len(holders) == 0 {
+		t.Fatal("no holders discovered")
+	}
+	for _, h := range holders {
+		if h > 10 {
+			t.Fatalf("non-covering node %v reported as holder", h)
+		}
+	}
+}
+
+// TestTerminalNodeUniformity: walk endpoints should be close to uniform
+// over the population (complete-graph views make the walk mix perfectly).
+func TestTerminalNodeUniformity(t *testing.T) {
+	const n = 50
+	c := newCluster(n, 11, func(id node.ID, q Query) bool { return true })
+	w := c.machines[1]
+	counts := map[node.ID]int{}
+	const batches = 40
+	const walksPer = 50
+	for b := 0; b < batches; b++ {
+		setID, envs := w.Launch(Query{Point: node.Point(b)}, walksPer, 5)
+		c.net.Emit(1, envs)
+		c.net.Quiesce(20)
+		s, _ := w.Results(setID)
+		for _, smp := range s.Samples {
+			counts[smp.Node]++
+		}
+		w.Forget(setID)
+	}
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	expected := float64(total) / n
+	var chi2 float64
+	for i := node.ID(1); i <= n; i++ {
+		d := float64(counts[i]) - expected
+		chi2 += d * d / expected
+	}
+	// 49 dof: 0.999 quantile ≈ 85.4; allow slack for the self-exclusion
+	// asymmetry of the origin's sampler.
+	if chi2 > 100 {
+		t.Fatalf("chi2 = %v over %d samples: endpoints not uniform", chi2, total)
+	}
+}
+
+func TestWalksLostToDeadNodesAreJustMissing(t *testing.T) {
+	c := newCluster(50, 13, func(id node.ID, q Query) bool { return false })
+	// Kill half the network: many walks will die en route.
+	for id := node.ID(26); id <= 50; id++ {
+		c.net.Kill(id, false)
+	}
+	w := c.machines[1]
+	setID, envs := w.Launch(Query{Point: 1}, 40, 6)
+	c.net.Emit(1, envs)
+	c.net.Quiesce(30)
+	s, _ := w.Results(setID)
+	if s.Complete() {
+		t.Skip("all walks survived; nothing to assert") // possible but vanishingly unlikely
+	}
+	if len(s.Samples) == 0 {
+		t.Fatal("no walk survived half-dead network")
+	}
+	// CoverFraction remains well-defined on partial results.
+	if f := s.CoverFraction(); f != 0 {
+		t.Fatalf("cover fraction = %v, want 0", f)
+	}
+}
+
+func TestHopAccounting(t *testing.T) {
+	c := newCluster(30, 17, nil)
+	w := c.machines[1]
+	_, envs := w.Launch(Query{Point: 1}, 10, 4)
+	c.net.Emit(1, envs)
+	c.net.Quiesce(30)
+	var hops int64
+	for _, m := range c.machines {
+		hops += m.Hops
+	}
+	// 10 walks, each visiting ttl+1 = 5 nodes.
+	if hops != 50 {
+		t.Fatalf("total hops = %d, want 50", hops)
+	}
+}
+
+func TestEmptySetStatistics(t *testing.T) {
+	s := &Set{Want: 5}
+	if s.CoverFraction() != 0 || s.ReplicaEstimate(100) != 0 || s.Holders() != nil {
+		t.Fatal("empty set statistics should be zero-valued")
+	}
+	if s.Complete() {
+		t.Fatal("empty set should not be complete")
+	}
+}
+
+func TestForget(t *testing.T) {
+	c := newCluster(10, 19, nil)
+	w := c.machines[1]
+	setID, _ := w.Launch(Query{}, 1, 1)
+	w.Forget(setID)
+	if _, ok := w.Results(setID); ok {
+		t.Fatal("set survived Forget")
+	}
+}

@@ -1,0 +1,567 @@
+// Package repair maintains redundancy in the epidemic persistent-state
+// layer, following §III-A's recipe to the letter:
+//
+//  1. A node periodically estimates how many nodes are responsible for
+//     its sieve ranges using random walks — at sieve (range) granularity,
+//     not per tuple ("obtaining an estimate of how many nodes have a
+//     given sieve ... suffices. This drastically reduces random walk
+//     length and the number of random walks needed").
+//  2. Holders discovered by the walks synchronise directly: digests
+//     first, then key-level version exchange, then tuple transfer ("have
+//     nodes responsible to the same key space (discovered by the random
+//     walk procedure) check tuple redundancy directly between them and
+//     restore redundancy as necessary").
+//  3. Replica deficits only trigger re-replication after a grace window,
+//     because churn is dominated by transient reboots ("redundancy
+//     constrains can be relaxed as the vast majority of nodes are
+//     expected to recover within a small time window").
+//  4. When a deficit persists, the node recruits a random peer to adopt
+//     the range — "it is only a matter of adjusting the sieve grain" —
+//     shipping the current range content along.
+package repair
+
+import (
+	"math/rand"
+	"sort"
+
+	"datadroplets/internal/membership"
+	"datadroplets/internal/node"
+	"datadroplets/internal/randomwalk"
+	"datadroplets/internal/sieve"
+	"datadroplets/internal/sim"
+	"datadroplets/internal/store"
+	"datadroplets/internal/tuple"
+)
+
+// Config tunes the redundancy manager.
+type Config struct {
+	// Replication is the target copy count r.
+	Replication int
+	// NEst supplies the system-size estimate N̂.
+	NEst func() float64
+	// Walks is the number of random walks per range check. Zero means 32.
+	Walks int
+	// TTL is the walk length. Zero means 8.
+	TTL int
+	// CheckEvery is the number of rounds between range checks (each
+	// check probes one of the node's arcs, round-robin). Zero means 10.
+	CheckEvery int
+	// WaitRounds is how long to wait for walk results before judging.
+	// Zero means TTL+4.
+	WaitRounds int
+	// Grace is how many rounds a deficit must persist before the node
+	// recruits — the transient-churn allowance. Zero means 20.
+	Grace int
+	// SyncPeers bounds how many discovered holders are synced per check.
+	// Zero means 2.
+	SyncPeers int
+	// MaxPush bounds tuples per transfer message. Zero means 512.
+	MaxPush int
+	// OrphanBatch bounds how many orphaned tuples (stored locally but no
+	// longer inside the node's responsibility, e.g. after the sieve
+	// narrowed with a growing N̂) are checked per cycle. Zero means 4.
+	OrphanBatch int
+	// OrphanRecheck is how many rounds an orphan rests after being
+	// handed off before it is re-examined. Zero means 100.
+	OrphanRecheck int
+}
+
+func (c Config) normalized() Config {
+	if c.Replication < 1 {
+		c.Replication = 1
+	}
+	if c.Walks == 0 {
+		c.Walks = 32
+	}
+	if c.TTL == 0 {
+		c.TTL = 8
+	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 10
+	}
+	if c.WaitRounds == 0 {
+		c.WaitRounds = c.TTL + 4
+	}
+	if c.Grace == 0 {
+		c.Grace = 20
+	}
+	if c.SyncPeers == 0 {
+		c.SyncPeers = 2
+	}
+	if c.MaxPush == 0 {
+		c.MaxPush = 512
+	}
+	if c.OrphanBatch == 0 {
+		c.OrphanBatch = 4
+	}
+	if c.OrphanRecheck == 0 {
+		c.OrphanRecheck = 100
+	}
+	return c
+}
+
+// Protocol messages.
+type (
+	// SyncReq opens a range synchronisation: "here is my digest for arc".
+	SyncReq struct {
+		Arc    node.Arc
+		Digest uint64
+	}
+	// SyncVersions answers a digest mismatch with key-level versions.
+	SyncVersions struct {
+		Arc      node.Arc
+		Versions map[string]tuple.Version
+	}
+	// SyncPull requests full tuples for keys.
+	SyncPull struct{ Keys []string }
+	// SyncPush delivers tuples; the receiver applies them under LWW.
+	SyncPush struct{ Tuples []*tuple.Tuple }
+	// AdoptReq recruits the receiver to take responsibility for an arc,
+	// shipping the sender's content for it.
+	AdoptReq struct {
+		Arc    node.Arc
+		Tuples []*tuple.Tuple
+	}
+)
+
+// pendingCheck tracks an outstanding walk probe for one arc.
+type pendingCheck struct {
+	arc        node.Arc
+	setID      uint64
+	launchedAt sim.Round
+}
+
+// Manager is the per-node redundancy maintenance machine. It also owns
+// the node's *effective* responsibility: the base sieve's arcs plus any
+// adopted arcs from recruitment.
+type Manager struct {
+	self    node.ID
+	rng     *rand.Rand
+	base    sieve.ArcSieve
+	st      *store.Store
+	walker  *randomwalk.Walker
+	sampler membership.Sampler
+	cfg     Config
+
+	adopted      []node.Arc
+	deficitSince map[node.Point]sim.Round // arc start -> first round deficit seen
+	pending      []pendingCheck
+	arcCursor    int
+
+	// Orphan handoff state: stored tuples that drifted outside the
+	// node's responsibility (sieve arcs move with N̂) still need their
+	// redundancy guaranteed by whoever covers them now.
+	orphanCursor   string
+	pendingOrphans []pendingOrphan
+	orphanDone     map[string]sim.Round
+
+	// Counters for experiment C7.
+	Checks    int64
+	Syncs     int64
+	Pushed    int64 // tuples shipped to peers
+	Recruits  int64
+	Abandoned int64 // adopted arcs released after overshoot
+	Handoffs  int64 // orphaned tuples pushed to their current coverers
+}
+
+type pendingOrphan struct {
+	key        string
+	setID      uint64
+	launchedAt sim.Round
+}
+
+var _ sim.Machine = (*Manager)(nil)
+
+// New builds a Manager. The walker must belong to the same node and be
+// driven by the same composite machine (walk messages are routed to it,
+// repair messages here).
+func New(self node.ID, rng *rand.Rand, base sieve.ArcSieve, st *store.Store,
+	walker *randomwalk.Walker, sampler membership.Sampler, cfg Config) *Manager {
+	return &Manager{
+		self:         self,
+		rng:          rng,
+		base:         base,
+		st:           st,
+		walker:       walker,
+		sampler:      sampler,
+		cfg:          cfg.normalized(),
+		deficitSince: make(map[node.Point]sim.Round),
+		orphanDone:   make(map[string]sim.Round),
+	}
+}
+
+// Arcs returns the node's effective responsibility: base sieve arcs plus
+// adopted arcs.
+func (m *Manager) Arcs() []node.Arc {
+	out := append([]node.Arc(nil), m.base.Arcs()...)
+	out = append(out, m.adopted...)
+	return out
+}
+
+// Covers reports whether the effective responsibility contains p.
+func (m *Manager) Covers(p node.Point) bool {
+	for _, a := range m.Arcs() {
+		if a.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Keep is the effective sieve decision: base sieve or adopted arcs.
+func (m *Manager) Keep(t *tuple.Tuple) bool {
+	if m.base.Keep(t) {
+		return true
+	}
+	p := t.Point()
+	for _, a := range m.adopted {
+		if a.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// AdoptedCount returns the number of currently adopted arcs.
+func (m *Manager) AdoptedCount() int { return len(m.adopted) }
+
+// Start implements sim.Machine. A rebooted node re-checks its ranges
+// promptly (cursor reset) but keeps adopted arcs — they are part of its
+// durable responsibility.
+func (m *Manager) Start(now sim.Round) []sim.Envelope {
+	m.pending = nil
+	return nil
+}
+
+// Tick implements sim.Machine.
+func (m *Manager) Tick(now sim.Round) []sim.Envelope {
+	var out []sim.Envelope
+	out = append(out, m.harvest(now)...)
+	out = append(out, m.harvestOrphans(now)...)
+	if now%sim.Round(m.cfg.CheckEvery) != 0 {
+		return out
+	}
+	out = append(out, m.sweepOrphans(now)...)
+	arcs := m.Arcs()
+	if len(arcs) == 0 {
+		return out
+	}
+	m.arcCursor = (m.arcCursor + 1) % len(arcs)
+	arc := arcs[m.arcCursor]
+	if arc.Width == 0 {
+		return out
+	}
+	// Probe the arc's midpoint: one walk set answers for every tuple in
+	// the range at once (the paper's cost reduction).
+	probe := arc.Start + node.Point(arc.Width/2)
+	setID, envs := m.walker.Launch(randomwalk.Query{Point: probe}, m.cfg.Walks, m.cfg.TTL)
+	m.pending = append(m.pending, pendingCheck{arc: arc, setID: setID, launchedAt: now})
+	m.Checks++
+	out = append(out, envs...)
+	return out
+}
+
+// sweepOrphans scans a window of the store for tuples outside the node's
+// current responsibility and launches point walks to find who covers
+// them now.
+func (m *Manager) sweepOrphans(now sim.Round) []sim.Envelope {
+	var out []sim.Envelope
+	launched := 0
+	visited := 0
+	var last string
+	m.st.ScanAll(m.orphanCursor, 0, func(t *tuple.Tuple) bool {
+		visited++
+		last = t.Key
+		if visited > 128 || launched >= m.cfg.OrphanBatch {
+			return false
+		}
+		if m.Covers(t.Point()) {
+			return true
+		}
+		if doneAt, ok := m.orphanDone[t.Key]; ok && now-doneAt < sim.Round(m.cfg.OrphanRecheck) {
+			return true
+		}
+		setID, envs := m.walker.Launch(
+			randomwalk.Query{Point: t.Point(), Key: t.Key}, m.cfg.Walks, m.cfg.TTL)
+		m.pendingOrphans = append(m.pendingOrphans, pendingOrphan{
+			key: t.Key, setID: setID, launchedAt: now,
+		})
+		m.orphanDone[t.Key] = now
+		launched++
+		out = append(out, envs...)
+		return true
+	})
+	if visited <= 128 && launched < m.cfg.OrphanBatch {
+		m.orphanCursor = "" // reached the end: wrap
+	} else {
+		m.orphanCursor = last
+	}
+	return out
+}
+
+// harvestOrphans resolves completed orphan walks: push the tuple to its
+// current coverers, or recruit an adopter when nobody covers it.
+func (m *Manager) harvestOrphans(now sim.Round) []sim.Envelope {
+	var out []sim.Envelope
+	remaining := m.pendingOrphans[:0]
+	for _, po := range m.pendingOrphans {
+		if now-po.launchedAt < sim.Round(m.cfg.WaitRounds) {
+			remaining = append(remaining, po)
+			continue
+		}
+		set, ok := m.walker.Results(po.setID)
+		if !ok {
+			continue
+		}
+		m.walker.Forget(po.setID)
+		t, have := m.st.GetAny(po.key)
+		if !have {
+			continue
+		}
+		holders := set.Holders()
+		pushed := 0
+		for _, h := range holders {
+			if h == m.self {
+				continue
+			}
+			out = append(out, sim.Envelope{To: h, Msg: SyncPush{Tuples: []*tuple.Tuple{t}}})
+			m.Handoffs++
+			pushed++
+			if pushed >= m.cfg.SyncPeers {
+				break
+			}
+		}
+		// The tuple is fully replicated at its proper owners: release the
+		// last-resort copy so origin stores stay bounded.
+		if len(holders) >= m.cfg.Replication && !m.Covers(t.Point()) {
+			m.st.Drop(po.key)
+			delete(m.orphanDone, po.key)
+		}
+		if len(set.Samples) > 0 && len(holders) == 0 {
+			// Nobody covers this point: a coverage gap. Recruit an
+			// adopter with a pinpoint arc so the tuple keeps a
+			// responsible owner.
+			if peer := m.sampler.One(); peer != node.None && peer != m.self {
+				out = append(out, sim.Envelope{To: peer, Msg: AdoptReq{
+					Arc:    node.Arc{Start: t.Point(), Width: 1},
+					Tuples: []*tuple.Tuple{t},
+				}})
+				m.Recruits++
+			}
+		}
+	}
+	m.pendingOrphans = remaining
+	return out
+}
+
+// harvest judges walk sets whose wait window elapsed.
+func (m *Manager) harvest(now sim.Round) []sim.Envelope {
+	var out []sim.Envelope
+	remaining := m.pending[:0]
+	for _, pc := range m.pending {
+		if now-pc.launchedAt < sim.Round(m.cfg.WaitRounds) {
+			remaining = append(remaining, pc)
+			continue
+		}
+		set, ok := m.walker.Results(pc.setID)
+		if ok {
+			out = append(out, m.judge(now, pc.arc, set)...)
+			m.walker.Forget(pc.setID)
+		}
+	}
+	m.pending = remaining
+	return out
+}
+
+// judge applies the repair policy to one range's replica estimate.
+func (m *Manager) judge(now sim.Round, arc node.Arc, set *randomwalk.Set) []sim.Envelope {
+	var out []sim.Envelope
+	nEst := 2.0
+	if m.cfg.NEst != nil {
+		if e := m.cfg.NEst(); e > 2 {
+			nEst = e
+		}
+	}
+	replicas := set.ReplicaEstimate(nEst)
+	holders := set.Holders()
+	// Always anti-entropy with a few holders: content convergence is
+	// useful regardless of the replica count.
+	for i, h := range holders {
+		if i >= m.cfg.SyncPeers {
+			break
+		}
+		if h == m.self {
+			continue
+		}
+		out = append(out, sim.Envelope{To: h, Msg: SyncReq{Arc: arc, Digest: m.st.DigestArc(arc)}})
+		m.Syncs++
+	}
+	target := float64(m.cfg.Replication)
+	switch {
+	case replicas >= target:
+		delete(m.deficitSince, arc.Start)
+		// Release adopted arcs once the range is comfortably covered.
+		if replicas > target*1.5 {
+			m.release(arc)
+		}
+	default:
+		first, seen := m.deficitSince[arc.Start]
+		if !seen {
+			m.deficitSince[arc.Start] = now
+			return out
+		}
+		if now-first < sim.Round(m.cfg.Grace) {
+			return out // transient-churn allowance
+		}
+		// Persistent deficit: recruit a random peer to adopt the range.
+		peer := m.sampler.One()
+		if peer == node.None || peer == m.self {
+			return out
+		}
+		out = append(out, sim.Envelope{To: peer, Msg: AdoptReq{
+			Arc:    arc,
+			Tuples: m.tuplesInArc(arc, m.cfg.MaxPush),
+		}})
+		m.Recruits++
+		delete(m.deficitSince, arc.Start) // restart the grace clock
+	}
+	return out
+}
+
+// release drops an adopted arc matching start (base arcs are never
+// released).
+func (m *Manager) release(arc node.Arc) {
+	for i, a := range m.adopted {
+		if a.Start == arc.Start && a.Width == arc.Width {
+			m.adopted = append(m.adopted[:i], m.adopted[i+1:]...)
+			m.Abandoned++
+			return
+		}
+	}
+}
+
+// Handle implements sim.Machine.
+func (m *Manager) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
+	switch msg := msg.(type) {
+	case SyncReq:
+		if m.st.DigestArc(msg.Arc) == msg.Digest {
+			return nil // ranges identical
+		}
+		return []sim.Envelope{{To: from, Msg: SyncVersions{
+			Arc:      msg.Arc,
+			Versions: m.st.VersionsInArc(msg.Arc),
+		}}}
+	case SyncVersions:
+		return m.reconcile(from, msg)
+	case SyncPull:
+		tuples := make([]*tuple.Tuple, 0, len(msg.Keys))
+		for _, k := range msg.Keys {
+			if t, ok := m.st.GetAny(k); ok {
+				tuples = append(tuples, t)
+			}
+		}
+		if len(tuples) == 0 {
+			return nil
+		}
+		m.Pushed += int64(len(tuples))
+		return []sim.Envelope{{To: from, Msg: SyncPush{Tuples: tuples}}}
+	case SyncPush:
+		var newer []*tuple.Tuple
+		for _, t := range msg.Tuples {
+			if !m.st.Apply(t) {
+				// Rejected as stale: read-repair the sender so last-resort
+				// copies converge to the latest version.
+				if cur, ok := m.st.GetAny(t.Key); ok && t.Version.Less(cur.Version) {
+					newer = append(newer, cur)
+				}
+			}
+		}
+		if len(newer) > 0 {
+			if len(newer) > m.cfg.MaxPush {
+				newer = newer[:m.cfg.MaxPush]
+			}
+			m.Pushed += int64(len(newer))
+			return []sim.Envelope{{To: from, Msg: SyncPush{Tuples: newer}}}
+		}
+	case AdoptReq:
+		m.adopt(msg)
+	}
+	return nil
+}
+
+// reconcile diffs the peer's versions against local state: pull what the
+// peer has newer, push what we have newer.
+func (m *Manager) reconcile(from node.ID, msg SyncVersions) []sim.Envelope {
+	mine := m.st.VersionsInArc(msg.Arc)
+	var pull []string
+	var push []*tuple.Tuple
+	for key, theirs := range msg.Versions {
+		ours, ok := mine[key]
+		switch {
+		case !ok || ours.Less(theirs):
+			pull = append(pull, key)
+		case theirs.Less(ours):
+			if t, found := m.st.GetAny(key); found {
+				push = append(push, t)
+			}
+		}
+	}
+	for key := range mine {
+		if _, ok := msg.Versions[key]; !ok {
+			if t, found := m.st.GetAny(key); found {
+				push = append(push, t)
+			}
+		}
+	}
+	sort.Strings(pull)
+	sort.Slice(push, func(i, j int) bool { return push[i].Key < push[j].Key })
+	if len(push) > m.cfg.MaxPush {
+		push = push[:m.cfg.MaxPush]
+	}
+	if len(pull) > m.cfg.MaxPush {
+		pull = pull[:m.cfg.MaxPush]
+	}
+	var out []sim.Envelope
+	if len(pull) > 0 {
+		out = append(out, sim.Envelope{To: from, Msg: SyncPull{Keys: pull}})
+	}
+	if len(push) > 0 {
+		m.Pushed += int64(len(push))
+		out = append(out, sim.Envelope{To: from, Msg: SyncPush{Tuples: push}})
+	}
+	return out
+}
+
+// adopt incorporates a recruited range: remember the arc, apply the data.
+func (m *Manager) adopt(msg AdoptReq) {
+	for _, a := range m.Arcs() {
+		if a == msg.Arc {
+			// Already responsible; just merge the data.
+			for _, t := range msg.Tuples {
+				m.st.Apply(t)
+			}
+			return
+		}
+	}
+	m.adopted = append(m.adopted, msg.Arc)
+	for _, t := range msg.Tuples {
+		m.st.Apply(t)
+	}
+	m.Recruits++ // counted on both ends: recruit sent and accepted
+}
+
+// tuplesInArc snapshots up to max tuples of the arc for transfer.
+func (m *Manager) tuplesInArc(arc node.Arc, max int) []*tuple.Tuple {
+	keys := m.st.KeysInArc(arc)
+	sort.Strings(keys)
+	if len(keys) > max {
+		keys = keys[:max]
+	}
+	out := make([]*tuple.Tuple, 0, len(keys))
+	for _, k := range keys {
+		if t, ok := m.st.GetAny(k); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}

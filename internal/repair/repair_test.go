@@ -1,0 +1,323 @@
+package repair
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"datadroplets/internal/membership"
+	"datadroplets/internal/node"
+	"datadroplets/internal/randomwalk"
+	"datadroplets/internal/sieve"
+	"datadroplets/internal/sim"
+	"datadroplets/internal/store"
+	"datadroplets/internal/tuple"
+)
+
+// stubSieve is an ArcSieve with explicit arcs, letting tests craft exact
+// responsibility layouts.
+type stubSieve struct{ arcs []node.Arc }
+
+func (s *stubSieve) Keep(t *tuple.Tuple) bool {
+	p := t.Point()
+	for _, a := range s.arcs {
+		if a.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+func (s *stubSieve) Grain() float64 {
+	var f float64
+	for _, a := range s.arcs {
+		f += a.Fraction()
+	}
+	return f
+}
+func (s *stubSieve) Arcs() []node.Arc { return s.arcs }
+
+var _ sieve.ArcSieve = (*stubSieve)(nil)
+
+// testNode composes walker + manager the way the epidemic node does.
+type testNode struct {
+	id     node.ID
+	st     *store.Store
+	walker *randomwalk.Walker
+	mgr    *Manager
+}
+
+func (n *testNode) Start(now sim.Round) []sim.Envelope {
+	out := n.walker.Start(now)
+	return append(out, n.mgr.Start(now)...)
+}
+
+func (n *testNode) Tick(now sim.Round) []sim.Envelope {
+	out := n.walker.Tick(now)
+	return append(out, n.mgr.Tick(now)...)
+}
+
+func (n *testNode) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
+	switch msg.(type) {
+	case randomwalk.WalkMsg, randomwalk.WalkResult:
+		return n.walker.Handle(now, from, msg)
+	default:
+		return n.mgr.Handle(now, from, msg)
+	}
+}
+
+type cluster struct {
+	net   *sim.Network
+	nodes map[node.ID]*testNode
+	ids   []node.ID
+}
+
+// newCluster builds n test nodes; arcsFor assigns each index its sieve
+// arcs.
+func newCluster(n int, seed int64, cfg Config, arcsFor func(i int) []node.Arc) *cluster {
+	c := &cluster{
+		net:   sim.New(sim.Config{Seed: seed}),
+		nodes: make(map[node.ID]*testNode, n),
+	}
+	ids := make([]node.ID, n)
+	for i := range ids {
+		ids[i] = node.ID(i + 1)
+	}
+	c.ids = ids
+	pop := func() []node.ID { return ids }
+	for i := 0; i < n; i++ {
+		arcs := arcsFor(i)
+		c.net.Spawn(func(id node.ID, rng *rand.Rand) sim.Machine {
+			tn := &testNode{id: id, st: store.New(rng)}
+			base := &stubSieve{arcs: arcs}
+			sampler := membership.NewUniformView(id, rng, pop)
+			tn.walker = randomwalk.New(id, rng, sampler, func(q randomwalk.Query) (bool, bool) {
+				covers := tn.mgr.Covers(q.Point)
+				_, hasKey := tn.st.GetAny(q.Key)
+				return covers, hasKey && q.Key != ""
+			})
+			tn.mgr = New(id, rng, base, tn.st, tn.walker, sampler, cfg)
+			c.nodes[id] = tn
+			return tn
+		})
+	}
+	return c
+}
+
+func mk(key string, seq uint64, val string) *tuple.Tuple {
+	return &tuple.Tuple{Key: key, Value: []byte(val), Version: tuple.Version{Seq: seq, Writer: 1}}
+}
+
+func TestReconcileComputesPullAndPush(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	st := store.New(rng)
+	st.Apply(mk("only-mine", 1, "x"))
+	st.Apply(mk("both-mine-newer", 5, "x"))
+	st.Apply(mk("both-theirs-newer", 1, "x"))
+	m := New(1, rng, &stubSieve{arcs: []node.Arc{node.FullArc()}}, st, nil, nil, Config{})
+	msg := SyncVersions{
+		Arc: node.FullArc(),
+		Versions: map[string]tuple.Version{
+			"both-mine-newer":   {Seq: 2, Writer: 1},
+			"both-theirs-newer": {Seq: 9, Writer: 1},
+			"only-theirs":       {Seq: 1, Writer: 1},
+		},
+	}
+	envs := m.reconcile(2, msg)
+	var pulls []string
+	var pushes []string
+	for _, e := range envs {
+		switch mm := e.Msg.(type) {
+		case SyncPull:
+			pulls = mm.Keys
+		case SyncPush:
+			for _, tp := range mm.Tuples {
+				pushes = append(pushes, tp.Key)
+			}
+		}
+	}
+	wantPull := map[string]bool{"both-theirs-newer": true, "only-theirs": true}
+	if len(pulls) != 2 || !wantPull[pulls[0]] || !wantPull[pulls[1]] {
+		t.Fatalf("pulls = %v", pulls)
+	}
+	wantPush := map[string]bool{"only-mine": true, "both-mine-newer": true}
+	if len(pushes) != 2 || !wantPush[pushes[0]] || !wantPush[pushes[1]] {
+		t.Fatalf("pushes = %v", pushes)
+	}
+}
+
+func TestSyncConvergesTwoHolders(t *testing.T) {
+	// Nodes 1 and 2 cover the same arc but hold different tuples; the
+	// periodic checks must converge their contents.
+	arc := node.Arc{Start: 0, Width: 1 << 62}
+	cfg := Config{Replication: 2, NEst: func() float64 { return 10 },
+		Walks: 60, TTL: 4, CheckEvery: 4, Grace: 1000}
+	c := newCluster(10, 3, cfg, func(i int) []node.Arc {
+		if i < 2 {
+			return []node.Arc{arc}
+		}
+		return nil
+	})
+	// Distinct keys that hash into the arc.
+	var inArc []string
+	for i := 0; len(inArc) < 6; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if arc.Contains(node.HashKey(k)) {
+			inArc = append(inArc, k)
+		}
+	}
+	for i, k := range inArc {
+		if i%2 == 0 {
+			c.nodes[1].st.Apply(mk(k, 1, "from1"))
+		} else {
+			c.nodes[2].st.Apply(mk(k, 1, "from2"))
+		}
+	}
+	c.net.Run(80)
+	for _, k := range inArc {
+		if _, ok := c.nodes[1].st.GetAny(k); !ok {
+			t.Fatalf("node 1 missing %q after sync", k)
+		}
+		if _, ok := c.nodes[2].st.GetAny(k); !ok {
+			t.Fatalf("node 2 missing %q after sync", k)
+		}
+	}
+}
+
+func TestSyncPropagatesNewerVersions(t *testing.T) {
+	arc := node.Arc{Start: 0, Width: 1 << 62}
+	cfg := Config{Replication: 2, NEst: func() float64 { return 8 },
+		Walks: 60, TTL: 4, CheckEvery: 4, Grace: 1000}
+	c := newCluster(8, 5, cfg, func(i int) []node.Arc {
+		if i < 2 {
+			return []node.Arc{arc}
+		}
+		return nil
+	})
+	var key string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if arc.Contains(node.HashKey(k)) {
+			key = k
+			break
+		}
+	}
+	c.nodes[1].st.Apply(mk(key, 1, "old"))
+	c.nodes[2].st.Apply(mk(key, 7, "new"))
+	c.net.Run(80)
+	got, ok := c.nodes[1].st.Get(key)
+	if !ok || string(got.Value) != "new" {
+		t.Fatalf("node 1 has %v, want the newer version", got)
+	}
+}
+
+func TestRecruitmentRestoresReplication(t *testing.T) {
+	// One arc covered by a single node in a 40-node system with r=3:
+	// after the grace window, recruitment must raise coverage to >= 3.
+	arc := node.Arc{Start: 1 << 61, Width: 1 << 61}
+	cfg := Config{Replication: 3, NEst: func() float64 { return 40 },
+		Walks: 200, TTL: 5, CheckEvery: 5, WaitRounds: 8, Grace: 10}
+	c := newCluster(40, 7, cfg, func(i int) []node.Arc {
+		if i == 0 {
+			return []node.Arc{arc}
+		}
+		return nil
+	})
+	var key string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if arc.Contains(node.HashKey(k)) {
+			key = k
+			break
+		}
+	}
+	c.nodes[1].st.Apply(mk(key, 1, "payload"))
+	c.net.Run(200)
+	probe := arc.Start + node.Point(arc.Width/2)
+	covering := 0
+	holding := 0
+	for _, tn := range c.nodes {
+		if tn.mgr.Covers(probe) {
+			covering++
+		}
+		if _, ok := tn.st.GetAny(key); ok {
+			holding++
+		}
+	}
+	if covering < 3 {
+		t.Fatalf("%d nodes cover the arc after repair, want >= 3", covering)
+	}
+	if holding < 2 {
+		t.Fatalf("%d nodes hold the tuple after repair, want >= 2", holding)
+	}
+	if c.nodes[1].mgr.Recruits == 0 {
+		t.Fatal("no recruitment happened")
+	}
+}
+
+func TestGraceWindowSuppressesEarlyRecruitment(t *testing.T) {
+	arc := node.Arc{Start: 0, Width: 1 << 61}
+	cfg := Config{Replication: 5, NEst: func() float64 { return 20 },
+		Walks: 100, TTL: 4, CheckEvery: 4, WaitRounds: 7, Grace: 1 << 20}
+	c := newCluster(20, 9, cfg, func(i int) []node.Arc {
+		if i == 0 {
+			return []node.Arc{arc}
+		}
+		return nil
+	})
+	c.net.Run(60)
+	if got := c.nodes[1].mgr.Recruits; got != 0 {
+		t.Fatalf("recruited %d times inside grace window", got)
+	}
+}
+
+func TestAdoptAppliesDataAndExtendsResponsibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	st := store.New(rng)
+	m := New(1, rng, &stubSieve{}, st, nil, nil, Config{})
+	arc := node.Arc{Start: 100, Width: 1000}
+	tup := mk("adopt-key", 3, "v")
+	m.Handle(0, 2, AdoptReq{Arc: arc, Tuples: []*tuple.Tuple{tup}})
+	if !m.Covers(105) {
+		t.Fatal("adopted arc not covered")
+	}
+	if m.AdoptedCount() != 1 {
+		t.Fatalf("adopted = %d", m.AdoptedCount())
+	}
+	if _, ok := st.GetAny("adopt-key"); !ok {
+		t.Fatal("adopted tuple not stored")
+	}
+	// Duplicate adoption of the same arc must not double-register.
+	m.Handle(0, 2, AdoptReq{Arc: arc, Tuples: nil})
+	if m.AdoptedCount() != 1 {
+		t.Fatalf("adopted after dup = %d", m.AdoptedCount())
+	}
+}
+
+func TestKeepCombinesBaseAndAdopted(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	st := store.New(rng)
+	// Base sieve covers nothing.
+	m := New(1, rng, &stubSieve{}, st, nil, nil, Config{})
+	tup := mk("some-key", 1, "v")
+	if m.Keep(tup) {
+		t.Fatal("empty responsibility kept a tuple")
+	}
+	m.Handle(0, 2, AdoptReq{Arc: node.Arc{Start: tup.Point(), Width: 10}, Tuples: nil})
+	if !m.Keep(tup) {
+		t.Fatal("adopted arc not consulted by Keep")
+	}
+}
+
+func TestSyncReqEqualDigestIsSilent(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	st := store.New(rng)
+	st.Apply(mk("k", 1, "v"))
+	m := New(1, rng, &stubSieve{arcs: []node.Arc{node.FullArc()}}, st, nil, nil, Config{})
+	digest := st.DigestArc(node.FullArc())
+	if envs := m.Handle(0, 2, SyncReq{Arc: node.FullArc(), Digest: digest}); envs != nil {
+		t.Fatalf("equal digests produced traffic: %v", envs)
+	}
+	if envs := m.Handle(0, 2, SyncReq{Arc: node.FullArc(), Digest: digest + 1}); envs == nil {
+		t.Fatal("differing digests produced no version exchange")
+	}
+}

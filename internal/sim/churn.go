@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"datadroplets/internal/node"
+)
+
+// ChurnConfig parameterises the churn process. The model follows the field
+// studies the paper cites ([10][11][12]): independent per-node transient
+// failures (reboots) with a downtime distribution, a smaller rate of
+// permanent failures (definitive departures), and a stream of joins.
+// Rates are per alive node per round, so a TransientPerRound of 0.01 over
+// a 100-round experiment churns roughly the whole population once.
+type ChurnConfig struct {
+	// TransientPerRound is the per-node per-round probability of a
+	// transient failure (node reboots and later returns with its state).
+	TransientPerRound float64
+	// PermanentPerRound is the per-node per-round probability of a
+	// permanent failure (node never returns; its replicas are lost).
+	PermanentPerRound float64
+	// MeanDowntime is the expected downtime of a transient failure in
+	// rounds (geometric distribution, minimum 1).
+	MeanDowntime float64
+	// JoinPerRound is the expected number of fresh nodes joining each
+	// round. Joins use Spawn to build their machines.
+	JoinPerRound float64
+	// Spawn builds the machine for a joining node. Required if
+	// JoinPerRound > 0.
+	Spawn func(id node.ID, rng *rand.Rand) Machine
+}
+
+// Churner drives churn over a Network. Call Step once per simulation round
+// (before or after Network.Step; experiments here call it before).
+type Churner struct {
+	net  *Network
+	cfg  ChurnConfig
+	rng  *rand.Rand
+	down map[node.ID]Round // transient-failure node -> revive round
+
+	// Counters for reporting.
+	Transients int
+	Permanents int
+	Joins      int
+}
+
+// NewChurner creates a churn driver with its own seeded randomness so the
+// churn trace is reproducible independently of protocol randomness.
+func NewChurner(net *Network, cfg ChurnConfig, seed int64) *Churner {
+	return &Churner{
+		net:  net,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(seed)),
+		down: make(map[node.ID]Round),
+	}
+}
+
+// Step applies one round of churn: revive due nodes, fail alive nodes,
+// admit joins.
+func (c *Churner) Step() {
+	now := c.net.Round()
+	// Revivals first so a node failing and reviving in the same round is
+	// impossible (downtime minimum is 1 round). Collect and sort the due
+	// IDs: map iteration order would otherwise leak nondeterminism into
+	// the message queue via the Start envelopes revival emits.
+	var due []node.ID
+	for id, at := range c.down {
+		if at <= now {
+			due = append(due, id)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, id := range due {
+		c.net.Revive(id)
+		delete(c.down, id)
+	}
+	if c.cfg.TransientPerRound > 0 || c.cfg.PermanentPerRound > 0 {
+		// Iterate over a snapshot: Kill invalidates the alive cache.
+		alive := append([]node.ID(nil), c.net.AliveIDs()...)
+		for _, id := range alive {
+			r := c.rng.Float64()
+			switch {
+			case r < c.cfg.PermanentPerRound:
+				c.net.Kill(id, true)
+				c.Permanents++
+			case r < c.cfg.PermanentPerRound+c.cfg.TransientPerRound:
+				c.net.Kill(id, false)
+				c.down[id] = now + Round(c.downtime())
+				c.Transients++
+			}
+		}
+	}
+	if c.cfg.JoinPerRound > 0 && c.cfg.Spawn != nil {
+		joins := c.poisson(c.cfg.JoinPerRound)
+		for i := 0; i < joins; i++ {
+			c.net.Spawn(c.cfg.Spawn)
+			c.Joins++
+		}
+	}
+}
+
+// Down returns the number of transiently failed nodes currently awaiting
+// revival.
+func (c *Churner) Down() int { return len(c.down) }
+
+// downtime samples a geometric downtime with the configured mean, >= 1.
+func (c *Churner) downtime() int {
+	mean := c.cfg.MeanDowntime
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	d := 1
+	for c.rng.Float64() > p {
+		d++
+		if d > 100*int(mean) { // guard against pathological tails
+			break
+		}
+	}
+	return d
+}
+
+// poisson samples a Poisson variate via Knuth's method (lambda is small in
+// every experiment here).
+func (c *Churner) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	threshold := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		k++
+		p *= c.rng.Float64()
+		if p <= threshold {
+			return k - 1
+		}
+		if k > 1000 {
+			return k
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package sim is a deterministic, cycle-driven network simulator in the
+// style of PeerSim's cycle engine. It exists because the paper's claims
+// (atomic-infection probability, dissemination effort, redundancy decay
+// under churn) are stated in terms of gossip rounds over populations of
+// 10^4–10^5 nodes — a scale that is exercised here in-process by driving
+// the same protocol state machines the live transport drives over TCP.
+//
+// Determinism contract: given the same Config.Seed and the same sequence
+// of API calls, a simulation produces byte-identical behaviour. All
+// randomness flows from seeded rand.Rand instances (one for the network,
+// one per node), nodes are iterated in ID order, and message delivery
+// preserves enqueue order within a round.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"datadroplets/internal/metrics"
+	"datadroplets/internal/node"
+)
+
+// Round is a simulation cycle. One round corresponds to one gossip period:
+// each alive node ticks once and messages sent in round r with delay d are
+// delivered in round r+d.
+type Round int
+
+// Envelope is an outbound message produced by a protocol machine. The
+// sender is implicit (the machine that returned it).
+type Envelope struct {
+	To  node.ID
+	Msg any
+}
+
+// Machine is the protocol state machine contract shared by the simulator
+// and the live drivers. Implementations must not retain the returned
+// slices, must not start goroutines, and must take all randomness from the
+// rand.Rand they were constructed with.
+type Machine interface {
+	// Start runs when the node boots: at spawn and again after each
+	// transient-failure recovery (the paper's "reboot" churn model).
+	Start(now Round) []Envelope
+	// Tick runs once per round while the node is alive.
+	Tick(now Round) []Envelope
+	// Handle processes one delivered message.
+	Handle(now Round, from node.ID, msg any) []Envelope
+}
+
+// Config controls the simulated network fabric.
+type Config struct {
+	// Seed feeds all randomness. Two runs with equal seeds are identical.
+	Seed int64
+	// Loss is the probability that any single message is dropped in
+	// transit, modelling the transient link failures epidemic protocols
+	// are claimed to mask.
+	Loss float64
+	// MinDelay and MaxDelay bound per-message delivery delay in rounds.
+	// Zero values default to 1 (deliver next round).
+	MinDelay, MaxDelay int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MinDelay <= 0 {
+		out.MinDelay = 1
+	}
+	if out.MaxDelay < out.MinDelay {
+		out.MaxDelay = out.MinDelay
+	}
+	return out
+}
+
+// Stats aggregates fabric-level message accounting for an entire run.
+type Stats struct {
+	Sent      metrics.Counter // messages handed to the fabric
+	Delivered metrics.Counter // messages delivered to alive nodes
+	LostLink  metrics.Counter // dropped by the loss process
+	LostDead  metrics.Counter // dropped because the target was down
+}
+
+type delivery struct {
+	from node.ID
+	to   node.ID
+	msg  any
+}
+
+type nodeState struct {
+	id        node.ID
+	machine   Machine
+	rng       *rand.Rand
+	alive     bool
+	permanent bool // permanently failed: can never be revived
+}
+
+// Network is the simulated fabric plus the node population.
+type Network struct {
+	cfg   Config
+	rng   *rand.Rand
+	round Round
+
+	nodes []*nodeState // index id-1; IDs are dense from 1
+
+	queue map[Round][]delivery
+
+	aliveCache []node.ID // sorted alive IDs; nil when invalidated
+
+	// Stats is the fabric accounting for this run.
+	Stats Stats
+}
+
+// New creates an empty network.
+func New(cfg Config) *Network {
+	c := cfg.withDefaults()
+	return &Network{
+		cfg:   c,
+		rng:   rand.New(rand.NewSource(c.Seed)),
+		queue: make(map[Round][]delivery),
+	}
+}
+
+// Round returns the current round number.
+func (n *Network) Round() Round { return n.round }
+
+// Spawn adds a node, constructs its machine via build, boots it, and
+// returns its ID. IDs are dense starting at 1.
+func (n *Network) Spawn(build func(id node.ID, rng *rand.Rand) Machine) node.ID {
+	id := node.ID(len(n.nodes) + 1)
+	rng := rand.New(rand.NewSource(n.cfg.Seed ^ int64(uint64(id)*0x9e3779b97f4a7c15)))
+	st := &nodeState{id: id, rng: rng, alive: true}
+	st.machine = build(id, rng)
+	n.nodes = append(n.nodes, st)
+	n.aliveCache = nil
+	n.emit(id, st.machine.Start(n.round))
+	return id
+}
+
+// SpawnN spawns count identical nodes and returns their IDs.
+func (n *Network) SpawnN(count int, build func(id node.ID, rng *rand.Rand) Machine) []node.ID {
+	ids := make([]node.ID, 0, count)
+	for i := 0; i < count; i++ {
+		ids = append(ids, n.Spawn(build))
+	}
+	return ids
+}
+
+func (n *Network) state(id node.ID) *nodeState {
+	if id == node.None || int(id) > len(n.nodes) {
+		return nil
+	}
+	return n.nodes[id-1]
+}
+
+// Machine returns the protocol machine of a node (alive or not), or nil if
+// the ID was never spawned. Experiment drivers use it to inspect state.
+func (n *Network) Machine(id node.ID) Machine {
+	st := n.state(id)
+	if st == nil {
+		return nil
+	}
+	return st.machine
+}
+
+// Alive reports whether the node exists and is currently up.
+func (n *Network) Alive(id node.ID) bool {
+	st := n.state(id)
+	return st != nil && st.alive
+}
+
+// Size returns the number of alive nodes.
+func (n *Network) Size() int { return len(n.AliveIDs()) }
+
+// Population returns the total number of ever-spawned nodes.
+func (n *Network) Population() int { return len(n.nodes) }
+
+// AliveIDs returns the sorted IDs of alive nodes. The returned slice must
+// not be mutated.
+func (n *Network) AliveIDs() []node.ID {
+	if n.aliveCache == nil {
+		ids := make([]node.ID, 0, len(n.nodes))
+		for _, st := range n.nodes {
+			if st.alive {
+				ids = append(ids, st.id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		n.aliveCache = ids
+	}
+	return n.aliveCache
+}
+
+// Kill takes a node down. With permanent=true the node can never return
+// and its state is conceptually lost; with permanent=false this models the
+// paper's dominant churn mode, a transient failure (reboot) after which
+// the node returns with its durable state intact.
+func (n *Network) Kill(id node.ID, permanent bool) {
+	st := n.state(id)
+	if st == nil || !st.alive {
+		return
+	}
+	st.alive = false
+	st.permanent = st.permanent || permanent
+	n.aliveCache = nil
+}
+
+// Revive brings a transiently failed node back; its machine's Start runs
+// again so recovery protocols (re-sync, view refresh) can kick in. Reviving
+// a permanently failed or alive node is a no-op.
+func (n *Network) Revive(id node.ID) {
+	st := n.state(id)
+	if st == nil || st.alive || st.permanent {
+		return
+	}
+	st.alive = true
+	n.aliveCache = nil
+	n.emit(id, st.machine.Start(n.round))
+}
+
+// Emit enqueues envelopes produced outside the normal Tick/Handle flow,
+// e.g. by an experiment driver invoking a client operation directly on a
+// machine. The envelopes are attributed to from.
+func (n *Network) Emit(from node.ID, envs []Envelope) { n.emit(from, envs) }
+
+func (n *Network) emit(from node.ID, envs []Envelope) {
+	for _, e := range envs {
+		n.Stats.Sent.Inc()
+		if n.cfg.Loss > 0 && n.rng.Float64() < n.cfg.Loss {
+			n.Stats.LostLink.Inc()
+			continue
+		}
+		d := n.cfg.MinDelay
+		if n.cfg.MaxDelay > n.cfg.MinDelay {
+			d += n.rng.Intn(n.cfg.MaxDelay - n.cfg.MinDelay + 1)
+		}
+		at := n.round + Round(d)
+		n.queue[at] = append(n.queue[at], delivery{from: from, to: e.To, msg: e.Msg})
+	}
+}
+
+// Step advances the simulation one round: deliver everything due this
+// round (in enqueue order), then tick every alive node in ID order.
+func (n *Network) Step() {
+	n.round++
+	due := n.queue[n.round]
+	delete(n.queue, n.round)
+	for _, d := range due {
+		st := n.state(d.to)
+		if st == nil || !st.alive {
+			n.Stats.LostDead.Inc()
+			continue
+		}
+		n.Stats.Delivered.Inc()
+		n.emit(d.to, st.machine.Handle(n.round, d.from, d.msg))
+	}
+	for _, st := range n.nodes {
+		if st.alive {
+			n.emit(st.id, st.machine.Tick(n.round))
+		}
+	}
+}
+
+// Run advances the simulation by the given number of rounds.
+func (n *Network) Run(rounds int) {
+	for i := 0; i < rounds; i++ {
+		n.Step()
+	}
+}
+
+// Quiesce steps until no messages are in flight or maxRounds elapse, and
+// returns the number of rounds stepped. Useful for draining dissemination.
+func (n *Network) Quiesce(maxRounds int) int {
+	for i := 0; i < maxRounds; i++ {
+		if len(n.queue) == 0 {
+			return i
+		}
+		n.Step()
+	}
+	return maxRounds
+}
+
+// InFlight returns the number of queued, undelivered messages.
+func (n *Network) InFlight() int {
+	total := 0
+	for _, ds := range n.queue {
+		total += len(ds)
+	}
+	return total
+}
+
+// String summarises fabric statistics.
+func (n *Network) String() string {
+	return fmt.Sprintf("round=%d alive=%d sent=%d delivered=%d lostLink=%d lostDead=%d",
+		n.round, n.Size(), n.Stats.Sent.Value(), n.Stats.Delivered.Value(),
+		n.Stats.LostLink.Value(), n.Stats.LostDead.Value())
+}

@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"datadroplets/internal/node"
+)
+
+// echoMachine records everything it sees and can be told to forward.
+type echoMachine struct {
+	id       node.ID
+	rng      *rand.Rand
+	starts   int
+	ticks    int
+	received []string
+	forward  node.ID // if set, forward every received message here
+}
+
+func (m *echoMachine) Start(now Round) []Envelope {
+	m.starts++
+	return nil
+}
+
+func (m *echoMachine) Tick(now Round) []Envelope {
+	m.ticks++
+	return nil
+}
+
+func (m *echoMachine) Handle(now Round, from node.ID, msg any) []Envelope {
+	m.received = append(m.received, fmt.Sprintf("r%d %s %v", now, from, msg))
+	if m.forward != node.None {
+		return []Envelope{{To: m.forward, Msg: msg}}
+	}
+	return nil
+}
+
+func spawnEcho(n *Network) (node.ID, *echoMachine) {
+	var m *echoMachine
+	id := n.Spawn(func(id node.ID, rng *rand.Rand) Machine {
+		m = &echoMachine{id: id, rng: rng}
+		return m
+	})
+	return id, m
+}
+
+func TestSpawnAssignsDenseIDs(t *testing.T) {
+	n := New(Config{Seed: 1})
+	a, _ := spawnEcho(n)
+	b, _ := spawnEcho(n)
+	if a != 1 || b != 2 {
+		t.Fatalf("ids = %v, %v; want 1, 2", a, b)
+	}
+	if n.Population() != 2 || n.Size() != 2 {
+		t.Fatalf("population/size = %d/%d", n.Population(), n.Size())
+	}
+}
+
+func TestStartCalledOnSpawnAndRevive(t *testing.T) {
+	n := New(Config{Seed: 1})
+	id, m := spawnEcho(n)
+	if m.starts != 1 {
+		t.Fatalf("starts = %d, want 1 after spawn", m.starts)
+	}
+	n.Kill(id, false)
+	n.Revive(id)
+	if m.starts != 2 {
+		t.Fatalf("starts = %d, want 2 after revive", m.starts)
+	}
+}
+
+func TestPermanentKillCannotRevive(t *testing.T) {
+	n := New(Config{Seed: 1})
+	id, m := spawnEcho(n)
+	n.Kill(id, true)
+	n.Revive(id)
+	if n.Alive(id) {
+		t.Fatal("permanently failed node revived")
+	}
+	if m.starts != 1 {
+		t.Fatalf("starts = %d, want 1", m.starts)
+	}
+}
+
+func TestMessageDeliveryNextRound(t *testing.T) {
+	n := New(Config{Seed: 1})
+	a, _ := spawnEcho(n)
+	b, mb := spawnEcho(n)
+	n.Emit(a, []Envelope{{To: b, Msg: "hi"}})
+	if len(mb.received) != 0 {
+		t.Fatal("message delivered before Step")
+	}
+	n.Step()
+	if len(mb.received) != 1 {
+		t.Fatalf("received = %v, want one message", mb.received)
+	}
+	if mb.received[0] != fmt.Sprintf("r1 %s hi", a) {
+		t.Fatalf("received = %q", mb.received[0])
+	}
+	if n.Stats.Delivered.Value() != 1 {
+		t.Fatalf("delivered counter = %d", n.Stats.Delivered.Value())
+	}
+}
+
+func TestDeliveryToDeadNodeDropped(t *testing.T) {
+	n := New(Config{Seed: 1})
+	a, _ := spawnEcho(n)
+	b, mb := spawnEcho(n)
+	n.Kill(b, false)
+	n.Emit(a, []Envelope{{To: b, Msg: "hi"}})
+	n.Step()
+	if len(mb.received) != 0 {
+		t.Fatal("dead node received a message")
+	}
+	if n.Stats.LostDead.Value() != 1 {
+		t.Fatalf("lostDead = %d, want 1", n.Stats.LostDead.Value())
+	}
+}
+
+func TestLossDropsRoughlyTheConfiguredFraction(t *testing.T) {
+	n := New(Config{Seed: 42, Loss: 0.5})
+	a, _ := spawnEcho(n)
+	b, mb := spawnEcho(n)
+	const total = 2000
+	for i := 0; i < total; i++ {
+		n.Emit(a, []Envelope{{To: b, Msg: i}})
+	}
+	n.Step()
+	got := len(mb.received)
+	if got < total/2-150 || got > total/2+150 {
+		t.Fatalf("delivered %d of %d at 50%% loss", got, total)
+	}
+	if n.Stats.LostLink.Value()+int64(got) != total {
+		t.Fatal("loss accounting does not add up")
+	}
+}
+
+func TestDelayRange(t *testing.T) {
+	n := New(Config{Seed: 7, MinDelay: 2, MaxDelay: 4})
+	a, _ := spawnEcho(n)
+	b, mb := spawnEcho(n)
+	for i := 0; i < 100; i++ {
+		n.Emit(a, []Envelope{{To: b, Msg: i}})
+	}
+	n.Step() // round 1: nothing can arrive before MinDelay=2
+	if len(mb.received) != 0 {
+		t.Fatal("message arrived before MinDelay")
+	}
+	n.Run(4) // rounds 2..5 cover all delays
+	if len(mb.received) != 100 {
+		t.Fatalf("received %d, want all 100 within MaxDelay", len(mb.received))
+	}
+}
+
+func TestForwardingChains(t *testing.T) {
+	n := New(Config{Seed: 1})
+	a, ma := spawnEcho(n)
+	b, mb := spawnEcho(n)
+	c, mc := spawnEcho(n)
+	ma.forward = b
+	mb.forward = c
+	n.Emit(node.None, []Envelope{{To: a, Msg: "x"}})
+	n.Run(3)
+	if len(mc.received) != 1 {
+		t.Fatalf("chain did not propagate: %v", mc.received)
+	}
+	_ = c
+}
+
+func TestTicksOnlyWhileAlive(t *testing.T) {
+	n := New(Config{Seed: 1})
+	id, m := spawnEcho(n)
+	n.Run(3)
+	if m.ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", m.ticks)
+	}
+	n.Kill(id, false)
+	n.Run(2)
+	if m.ticks != 3 {
+		t.Fatalf("ticks = %d after kill, want 3", m.ticks)
+	}
+	n.Revive(id)
+	n.Run(1)
+	if m.ticks != 4 {
+		t.Fatalf("ticks = %d after revive, want 4", m.ticks)
+	}
+}
+
+func TestQuiesceDrainsQueue(t *testing.T) {
+	n := New(Config{Seed: 1, MinDelay: 1, MaxDelay: 3})
+	a, _ := spawnEcho(n)
+	b, _ := spawnEcho(n)
+	n.Emit(a, []Envelope{{To: b, Msg: "x"}, {To: b, Msg: "y"}})
+	if n.InFlight() != 2 {
+		t.Fatalf("inflight = %d", n.InFlight())
+	}
+	rounds := n.Quiesce(10)
+	if rounds > 3 || n.InFlight() != 0 {
+		t.Fatalf("quiesce took %d rounds, inflight %d", rounds, n.InFlight())
+	}
+}
+
+// transcriptMachine emits a deterministic trace used by the determinism
+// test: every event mutates a running hash.
+type transcriptMachine struct {
+	rng  *rand.Rand
+	id   node.ID
+	hash uint64
+	all  []node.ID
+}
+
+func (m *transcriptMachine) mix(v uint64) {
+	m.hash = (m.hash ^ v) * 0x100000001b3
+}
+
+func (m *transcriptMachine) Start(now Round) []Envelope {
+	m.mix(uint64(now) + 1)
+	return nil
+}
+
+func (m *transcriptMachine) Tick(now Round) []Envelope {
+	m.mix(uint64(now) * 31)
+	if len(m.all) == 0 {
+		return nil
+	}
+	to := m.all[m.rng.Intn(len(m.all))]
+	return []Envelope{{To: to, Msg: m.rng.Uint64()}}
+}
+
+func (m *transcriptMachine) Handle(now Round, from node.ID, msg any) []Envelope {
+	m.mix(uint64(from)*1000003 ^ msg.(uint64))
+	return nil
+}
+
+func runTranscript(seed int64) uint64 {
+	n := New(Config{Seed: seed, Loss: 0.1, MinDelay: 1, MaxDelay: 3})
+	machines := make([]*transcriptMachine, 0, 50)
+	ids := n.SpawnN(50, func(id node.ID, rng *rand.Rand) Machine {
+		m := &transcriptMachine{id: id, rng: rng}
+		machines = append(machines, m)
+		return m
+	})
+	for _, m := range machines {
+		m.all = ids
+	}
+	ch := NewChurner(n, ChurnConfig{
+		TransientPerRound: 0.05,
+		PermanentPerRound: 0.01,
+		MeanDowntime:      3,
+		JoinPerRound:      0.5,
+		Spawn: func(id node.ID, rng *rand.Rand) Machine {
+			m := &transcriptMachine{id: id, rng: rng, all: ids}
+			machines = append(machines, m)
+			return m
+		},
+	}, seed+1)
+	for i := 0; i < 40; i++ {
+		ch.Step()
+		n.Step()
+	}
+	var h uint64 = 14695981039346656037
+	for _, m := range machines {
+		h = (h ^ m.hash) * 0x100000001b3
+	}
+	return h
+}
+
+// TestDeterminism is the simulator's core contract: identical seeds yield
+// identical transcripts, across churn, loss, delay jitter and joins.
+func TestDeterminism(t *testing.T) {
+	a := runTranscript(12345)
+	b := runTranscript(12345)
+	if a != b {
+		t.Fatalf("same seed produced different transcripts: %x vs %x", a, b)
+	}
+	c := runTranscript(54321)
+	if a == c {
+		t.Fatal("different seeds produced identical transcripts (suspicious)")
+	}
+}
+
+func TestChurnerRates(t *testing.T) {
+	n := New(Config{Seed: 3})
+	n.SpawnN(500, func(id node.ID, rng *rand.Rand) Machine {
+		return &echoMachine{id: id, rng: rng}
+	})
+	ch := NewChurner(n, ChurnConfig{TransientPerRound: 0.02, MeanDowntime: 5}, 9)
+	for i := 0; i < 50; i++ {
+		ch.Step()
+		n.Step()
+	}
+	// Expected transient failures ~ 0.02 * ~500 * 50 = ~500 (less, since
+	// down nodes cannot fail). Allow a broad band.
+	if ch.Transients < 200 || ch.Transients > 800 {
+		t.Fatalf("transients = %d, want around 400-500", ch.Transients)
+	}
+	if ch.Permanents != 0 {
+		t.Fatalf("permanents = %d, want 0", ch.Permanents)
+	}
+	// Some nodes should currently be down, and alive+down == population.
+	if n.Size()+ch.Down() != n.Population() {
+		t.Fatalf("alive %d + down %d != population %d", n.Size(), ch.Down(), n.Population())
+	}
+}
+
+func TestChurnerJoins(t *testing.T) {
+	n := New(Config{Seed: 3})
+	n.SpawnN(10, func(id node.ID, rng *rand.Rand) Machine {
+		return &echoMachine{id: id, rng: rng}
+	})
+	ch := NewChurner(n, ChurnConfig{
+		JoinPerRound: 2,
+		Spawn: func(id node.ID, rng *rand.Rand) Machine {
+			return &echoMachine{id: id, rng: rng}
+		},
+	}, 11)
+	for i := 0; i < 50; i++ {
+		ch.Step()
+		n.Step()
+	}
+	if ch.Joins < 50 || ch.Joins > 150 {
+		t.Fatalf("joins = %d, want near 100", ch.Joins)
+	}
+	if n.Population() != 10+ch.Joins {
+		t.Fatalf("population = %d, want %d", n.Population(), 10+ch.Joins)
+	}
+}
+
+func TestChurnerRevivesAfterDowntime(t *testing.T) {
+	n := New(Config{Seed: 3})
+	ids := n.SpawnN(100, func(id node.ID, rng *rand.Rand) Machine {
+		return &echoMachine{id: id, rng: rng}
+	})
+	ch := NewChurner(n, ChurnConfig{TransientPerRound: 0.5, MeanDowntime: 2}, 13)
+	for i := 0; i < 30; i++ {
+		ch.Step()
+		n.Step()
+	}
+	// Stop churning; everyone should come back within a few rounds.
+	for i := 0; i < 50 && ch.Down() > 0; i++ {
+		ch.cfg.TransientPerRound = 0
+		ch.Step()
+		n.Step()
+	}
+	if ch.Down() != 0 {
+		t.Fatalf("%d nodes still down after grace period", ch.Down())
+	}
+	for _, id := range ids {
+		if !n.Alive(id) {
+			t.Fatalf("node %v not alive after churn stopped", id)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package sizeest implements epidemic system-size estimation by extrema
+// propagation (Cardoso, Baquero & Almeida, LADC'09 — the paper's [23]):
+// every node draws K exponential(1) variates at the start of an epoch;
+// gossip exchanges propagate the pointwise minimum; once the minima have
+// mixed, (K-1)/Σ minima is an unbiased estimate of the population size N
+// with relative error ≈ 1/sqrt(K-2).
+//
+// N̂ is what makes the rest of the system self-tuning: the gossip fanout
+// ln(N̂)+c and the sieve grain r/N̂ both consume it, so no node ever needs
+// to know the membership — the paper's core scaling argument against
+// Cassandra-style full membership.
+package sizeest
+
+import (
+	"math"
+	"math/rand"
+
+	"datadroplets/internal/membership"
+	"datadroplets/internal/node"
+	"datadroplets/internal/sim"
+)
+
+// Config tunes the estimator.
+type Config struct {
+	// K is the number of exponential minima (error ~ 1/sqrt(K-2)).
+	// Zero means 128.
+	K int
+	// EpochLen is the number of rounds before the vector is redrawn,
+	// bounding how long departed nodes linger in the estimate. Zero
+	// means 30.
+	EpochLen int
+}
+
+// Messages.
+type (
+	// VectorPush carries the sender's current minima; receiver merges
+	// and replies (push-pull).
+	VectorPush struct {
+		Epoch uint64
+		Mins  []float64
+	}
+	// VectorReply is the pull half.
+	VectorReply struct {
+		Epoch uint64
+		Mins  []float64
+	}
+)
+
+// Estimator is the per-node machine.
+type Estimator struct {
+	self    node.ID
+	rng     *rand.Rand
+	sampler membership.Sampler
+	cfg     Config
+
+	epoch   uint64
+	mins    []float64
+	settled float64 // estimate locked in at the end of the previous epoch
+}
+
+var _ sim.Machine = (*Estimator)(nil)
+
+// New builds an estimator.
+func New(self node.ID, rng *rand.Rand, sampler membership.Sampler, cfg Config) *Estimator {
+	if cfg.K == 0 {
+		cfg.K = 128
+	}
+	if cfg.EpochLen == 0 {
+		cfg.EpochLen = 30
+	}
+	return &Estimator{self: self, rng: rng, sampler: sampler, cfg: cfg}
+}
+
+func (e *Estimator) epochFor(now sim.Round) uint64 {
+	return uint64(now) / uint64(e.cfg.EpochLen)
+}
+
+// reseed draws a fresh vector for the new epoch, preserving the previous
+// epoch's converged estimate for queries.
+func (e *Estimator) reseed(epoch uint64) {
+	if e.mins != nil {
+		if est := e.rawEstimate(); est > 0 {
+			e.settled = est
+		}
+	}
+	e.epoch = epoch
+	e.mins = make([]float64, e.cfg.K)
+	for i := range e.mins {
+		e.mins[i] = e.rng.ExpFloat64()
+	}
+}
+
+// Start implements sim.Machine.
+func (e *Estimator) Start(now sim.Round) []sim.Envelope {
+	e.reseed(e.epochFor(now))
+	return nil
+}
+
+// Tick implements sim.Machine.
+func (e *Estimator) Tick(now sim.Round) []sim.Envelope {
+	if ep := e.epochFor(now); ep != e.epoch {
+		e.reseed(ep)
+	}
+	peer := e.sampler.One()
+	if peer == node.None {
+		return nil
+	}
+	return []sim.Envelope{{To: peer, Msg: VectorPush{Epoch: e.epoch, Mins: e.copyMins()}}}
+}
+
+// Handle implements sim.Machine.
+func (e *Estimator) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
+	switch m := msg.(type) {
+	case VectorPush:
+		if m.Epoch != e.epoch {
+			return nil
+		}
+		reply := VectorReply{Epoch: e.epoch, Mins: e.copyMins()}
+		e.merge(m.Mins)
+		return []sim.Envelope{{To: from, Msg: reply}}
+	case VectorReply:
+		if m.Epoch == e.epoch {
+			e.merge(m.Mins)
+		}
+	}
+	return nil
+}
+
+func (e *Estimator) merge(other []float64) {
+	n := len(e.mins)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		if other[i] < e.mins[i] {
+			e.mins[i] = other[i]
+		}
+	}
+}
+
+func (e *Estimator) copyMins() []float64 {
+	out := make([]float64, len(e.mins))
+	copy(out, e.mins)
+	return out
+}
+
+// rawEstimate computes (K-1)/Σmins over the working vector.
+func (e *Estimator) rawEstimate() float64 {
+	var sum float64
+	for _, v := range e.mins {
+		sum += v
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return float64(len(e.mins)-1) / sum
+}
+
+// Estimate returns the node's current best estimate of N. Early in an
+// epoch the working vector underestimates (only local minima), so the
+// settled previous-epoch value is preferred when it is larger.
+func (e *Estimator) Estimate() float64 {
+	raw := e.rawEstimate()
+	if e.settled > raw {
+		return e.settled
+	}
+	return raw
+}
+
+// EstimateFunc adapts the estimator to the func() float64 consumed by
+// gossip.FanoutLnN and sieve.Config.
+func (e *Estimator) EstimateFunc() func() float64 {
+	return e.Estimate
+}
+
+// StdErr returns the analytic relative standard error of the estimator,
+// 1/sqrt(K-2).
+func (e *Estimator) StdErr() float64 {
+	if e.cfg.K <= 2 {
+		return math.Inf(1)
+	}
+	return 1 / math.Sqrt(float64(e.cfg.K-2))
+}

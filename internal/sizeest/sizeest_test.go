@@ -1,0 +1,171 @@
+package sizeest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"datadroplets/internal/membership"
+	"datadroplets/internal/node"
+	"datadroplets/internal/sim"
+)
+
+type cluster struct {
+	net      *sim.Network
+	machines map[node.ID]*Estimator
+	ids      []node.ID
+}
+
+func newCluster(n int, seed int64, cfg Config) *cluster {
+	c := &cluster{
+		net:      sim.New(sim.Config{Seed: seed}),
+		machines: make(map[node.ID]*Estimator, n),
+	}
+	ids := make([]node.ID, n)
+	for i := range ids {
+		ids[i] = node.ID(i + 1)
+	}
+	c.ids = ids
+	pop := func() []node.ID { return c.ids }
+	for i := 0; i < n; i++ {
+		c.net.Spawn(func(id node.ID, rng *rand.Rand) sim.Machine {
+			e := New(id, rng, membership.NewUniformView(id, rng, pop), cfg)
+			c.machines[id] = e
+			return e
+		})
+	}
+	return c
+}
+
+func TestEstimateConverges(t *testing.T) {
+	const n = 1000
+	c := newCluster(n, 3, Config{K: 256, EpochLen: 1000})
+	c.net.Run(15) // ~log2(1000) push-pull rounds suffice
+	for _, probe := range []node.ID{1, 500, 1000} {
+		est := c.machines[probe].Estimate()
+		relErr := math.Abs(est-n) / n
+		// Analytic stderr at K=256 is ~6.3%; accept 4 sigma.
+		if relErr > 0.25 {
+			t.Fatalf("node %v estimate %v (rel err %v)", probe, est, relErr)
+		}
+	}
+}
+
+func TestAllNodesAgreeAfterMixing(t *testing.T) {
+	const n = 300
+	c := newCluster(n, 5, Config{K: 128, EpochLen: 1000})
+	c.net.Run(20)
+	first := c.machines[1].Estimate()
+	for _, id := range c.ids {
+		if got := c.machines[id].Estimate(); math.Abs(got-first) > first*0.01 {
+			t.Fatalf("node %v estimate %v differs from node 1's %v after mixing", id, got, first)
+		}
+	}
+}
+
+func TestEarlyEstimateGrowsTowardN(t *testing.T) {
+	const n = 500
+	c := newCluster(n, 7, Config{K: 64, EpochLen: 1000})
+	e := c.machines[1]
+	if est := e.Estimate(); est > 50 {
+		t.Fatalf("pre-mixing estimate %v should be small (only local vector)", est)
+	}
+	c.net.Run(15)
+	if est := e.Estimate(); est < n/2 {
+		t.Fatalf("post-mixing estimate %v too small", est)
+	}
+}
+
+func TestEpochRestartTracksGrowth(t *testing.T) {
+	const n = 200
+	c := newCluster(n, 9, Config{K: 128, EpochLen: 15})
+	c.net.Run(14) // converge within epoch 0
+	before := c.machines[1].Estimate()
+	// Double the population.
+	pop := &c.ids
+	for i := 0; i < n; i++ {
+		c.net.Spawn(func(id node.ID, rng *rand.Rand) sim.Machine {
+			e := New(id, rng, membership.NewUniformView(id, rng, func() []node.ID { return *pop }), Config{K: 128, EpochLen: 15})
+			c.machines[id] = e
+			return e
+		})
+		c.ids = append(c.ids, node.ID(n+i+1))
+	}
+	c.net.Run(30) // a full fresh epoch with the new population
+	after := c.machines[1].Estimate()
+	if after < before*1.4 {
+		t.Fatalf("estimate %v did not track growth from %v (want ≈2x)", after, before)
+	}
+}
+
+func TestEstimateUnderChurn(t *testing.T) {
+	const n = 400
+	c := newCluster(n, 11, Config{K: 128, EpochLen: 20})
+	ch := sim.NewChurner(c.net, sim.ChurnConfig{TransientPerRound: 0.02, MeanDowntime: 4}, 13)
+	for i := 0; i < 60; i++ {
+		ch.Step()
+		c.net.Step()
+	}
+	ids := c.net.AliveIDs()
+	est := c.machines[ids[0]].Estimate()
+	if est < n/2 || est > n*2 {
+		t.Fatalf("estimate %v under churn, want within 2x of %d", est, n)
+	}
+}
+
+func TestStdErr(t *testing.T) {
+	e := New(1, rand.New(rand.NewSource(1)), nil, Config{K: 102})
+	if got := e.StdErr(); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("stderr = %v, want 0.1", got)
+	}
+	degenerate := New(1, rand.New(rand.NewSource(1)), nil, Config{K: 2, EpochLen: 1})
+	if !math.IsInf(degenerate.StdErr(), 1) {
+		t.Fatal("K=2 stderr should be +Inf")
+	}
+}
+
+func TestMergeShorterVectorDoesNotPanic(t *testing.T) {
+	e := New(1, rand.New(rand.NewSource(1)), nil, Config{K: 8})
+	e.Start(0)
+	e.Handle(1, 2, VectorPush{Epoch: 0, Mins: []float64{0.001}})
+	if e.mins[0] != 0.001 {
+		t.Fatal("merge ignored shorter vector")
+	}
+}
+
+func TestStaleEpochIgnored(t *testing.T) {
+	e := New(1, rand.New(rand.NewSource(1)), nil, Config{K: 8, EpochLen: 10})
+	e.Start(0)
+	before := e.copyMins()
+	e.Handle(1, 2, VectorPush{Epoch: 99, Mins: []float64{0, 0, 0, 0, 0, 0, 0, 0}})
+	after := e.copyMins()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("stale epoch vector was merged")
+		}
+	}
+}
+
+// TestEstimatorAccuracyScalesWithK verifies the 1/sqrt(K-2) error law the
+// redundancy manager relies on when sizing K.
+func TestEstimatorAccuracyScalesWithK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short")
+	}
+	const n = 800
+	errAtK := func(k int) float64 {
+		var total float64
+		const trials = 5
+		for trial := 0; trial < trials; trial++ {
+			c := newCluster(n, int64(100+trial), Config{K: k, EpochLen: 1000})
+			c.net.Run(15)
+			est := c.machines[1].Estimate()
+			total += math.Abs(est-n) / n
+		}
+		return total / trials
+	}
+	small, large := errAtK(16), errAtK(256)
+	if large > small {
+		t.Fatalf("error did not shrink with K: K=16 → %v, K=256 → %v", small, large)
+	}
+}

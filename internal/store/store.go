@@ -1,0 +1,324 @@
+// Package store is the node-local storage engine of the persistent-state
+// layer: an ordered, versioned tuple map with range scans and per-arc
+// digests for anti-entropy.
+//
+// Concurrency: a Store is confined to its owning node machine (simulator
+// rounds or the live node's event loop); it is not safe for concurrent
+// use and does not lock. This mirrors the protocol-as-state-machine
+// convention described in DESIGN.md.
+//
+// Write semantics are last-writer-wins on tuple.Version. The soft-state
+// layer orders writes, so version comparison makes epidemic re-delivery
+// and anti-entropy merges idempotent and commutative: any subset of
+// deliveries in any order converges to the same state. Deletes are
+// tombstones and disseminate like writes.
+package store
+
+import (
+	"math/rand"
+
+	"datadroplets/internal/node"
+	"datadroplets/internal/tuple"
+)
+
+const (
+	maxLevel = 24
+	levelP   = 0.25
+)
+
+type skipNode struct {
+	key   string
+	tup   *tuple.Tuple
+	next  []*skipNode
+	point node.Point // cached ring position of key
+}
+
+// Store is one node's tuple storage.
+type Store struct {
+	rng    *rand.Rand
+	head   *skipNode
+	level  int
+	total  int   // entries including tombstones
+	live   int   // entries excluding tombstones
+	bytes  int64 // approximate payload bytes of live entries
+	logi   int64 // applied-write counter (diagnostics)
+	capHit int64 // rejected-by-capacity counter
+	maxCap int64 // optional byte capacity, 0 = unlimited
+}
+
+// New creates an empty store. The rand source drives skiplist level
+// choice only; determinism of the whole simulation requires it to come
+// from the node's seeded RNG.
+func New(rng *rand.Rand) *Store {
+	return &Store{
+		rng:  rng,
+		head: &skipNode{next: make([]*skipNode, maxLevel)},
+	}
+}
+
+// SetCapacity bounds the approximate live payload bytes; Apply refuses
+// new keys beyond it (updates to existing keys always apply). Zero means
+// unlimited. This models the paper's "nodes with disparate storage
+// capabilities".
+func (s *Store) SetCapacity(bytes int64) { s.maxCap = bytes }
+
+// randomLevel draws a geometric level in [1, maxLevel].
+func (s *Store) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && s.rng.Float64() < levelP {
+		lvl++
+	}
+	return lvl
+}
+
+// find returns the node with the key, or nil, filling path with the
+// rightmost node before key at every level.
+func (s *Store) find(key string, path *[maxLevel]*skipNode) *skipNode {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		if path != nil {
+			path[i] = x
+		}
+	}
+	if n := x.next[0]; n != nil && n.key == key {
+		return n
+	}
+	return nil
+}
+
+// Apply merges one tuple under last-writer-wins. It returns true if the
+// tuple was newer than local state and was applied.
+func (s *Store) Apply(t *tuple.Tuple) bool {
+	var path [maxLevel]*skipNode
+	for i := s.level; i < maxLevel; i++ {
+		path[i] = s.head
+	}
+	existing := s.find(t.Key, &path)
+	if existing != nil {
+		if !existing.tup.Version.Less(t.Version) {
+			return false // stale or duplicate
+		}
+		s.accountRemove(existing.tup)
+		existing.tup = t.Clone()
+		s.accountAdd(existing.tup)
+		s.logi++
+		return true
+	}
+	if s.maxCap > 0 && s.bytes+int64(len(t.Value)) > s.maxCap {
+		s.capHit++
+		return false
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		s.level = lvl
+	}
+	n := &skipNode{
+		key:   t.Key,
+		tup:   t.Clone(),
+		next:  make([]*skipNode, lvl),
+		point: node.HashKey(t.Key),
+	}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = path[i].next[i]
+		path[i].next[i] = n
+	}
+	s.total++
+	s.accountAdd(n.tup)
+	s.logi++
+	return true
+}
+
+func (s *Store) accountAdd(t *tuple.Tuple) {
+	if !t.Deleted {
+		s.live++
+		s.bytes += int64(len(t.Value))
+	}
+}
+
+func (s *Store) accountRemove(t *tuple.Tuple) {
+	if !t.Deleted {
+		s.live--
+		s.bytes -= int64(len(t.Value))
+	}
+}
+
+// Get returns a clone of the live tuple, or (nil, false) if absent or
+// tombstoned.
+func (s *Store) Get(key string) (*tuple.Tuple, bool) {
+	n := s.find(key, nil)
+	if n == nil || n.tup.Deleted {
+		return nil, false
+	}
+	return n.tup.Clone(), true
+}
+
+// GetAny returns the entry even if it is a tombstone — anti-entropy needs
+// tombstone versions to propagate deletes.
+func (s *Store) GetAny(key string) (*tuple.Tuple, bool) {
+	n := s.find(key, nil)
+	if n == nil {
+		return nil, false
+	}
+	return n.tup.Clone(), true
+}
+
+// Version returns the stored version for key (tombstones included), or a
+// zero version if absent.
+func (s *Store) Version(key string) tuple.Version {
+	n := s.find(key, nil)
+	if n == nil {
+		return tuple.Version{}
+	}
+	return n.tup.Version
+}
+
+// Drop physically removes an entry regardless of version. The sieve layer
+// uses it when a node's responsibility shrinks; it is not a delete in the
+// data model sense (no tombstone).
+func (s *Store) Drop(key string) bool {
+	var path [maxLevel]*skipNode
+	for i := s.level; i < maxLevel; i++ {
+		path[i] = s.head
+	}
+	n := s.find(key, &path)
+	if n == nil {
+		return false
+	}
+	for i := 0; i < len(n.next); i++ {
+		if path[i].next[i] == n {
+			path[i].next[i] = n.next[i]
+		}
+	}
+	s.total--
+	s.accountRemove(n.tup)
+	return true
+}
+
+// Len returns the number of live (non-tombstone) tuples.
+func (s *Store) Len() int { return s.live }
+
+// Total returns all entries including tombstones.
+func (s *Store) Total() int { return s.total }
+
+// Bytes returns the approximate live payload size.
+func (s *Store) Bytes() int64 { return s.bytes }
+
+// CapacityRejections returns how many inserts the capacity bound refused.
+func (s *Store) CapacityRejections() int64 { return s.capHit }
+
+// Scan visits live tuples with key >= from in key order until fn returns
+// false or limit tuples have been visited (limit <= 0 means no limit).
+// Tuples are cloned: callers cannot corrupt store state.
+func (s *Store) Scan(from string, limit int, fn func(*tuple.Tuple) bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < from {
+			x = x.next[i]
+		}
+	}
+	n := 0
+	for e := x.next[0]; e != nil; e = e.next[0] {
+		if e.tup.Deleted {
+			continue
+		}
+		if limit > 0 && n >= limit {
+			return
+		}
+		n++
+		if !fn(e.tup.Clone()) {
+			return
+		}
+	}
+}
+
+// ScanAll visits entries with key >= from in key order, tombstones
+// included, until fn returns false or limit entries have been visited
+// (limit <= 0 means no limit). The repair layer's orphan sweep uses it:
+// tombstones must be handed off like live tuples or deletes un-happen.
+func (s *Store) ScanAll(from string, limit int, fn func(*tuple.Tuple) bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < from {
+			x = x.next[i]
+		}
+	}
+	n := 0
+	for e := x.next[0]; e != nil; e = e.next[0] {
+		if limit > 0 && n >= limit {
+			return
+		}
+		n++
+		if !fn(e.tup.Clone()) {
+			return
+		}
+	}
+}
+
+// ScanRange visits live tuples with from <= key < to in key order.
+func (s *Store) ScanRange(from, to string, fn func(*tuple.Tuple) bool) {
+	s.Scan(from, 0, func(t *tuple.Tuple) bool {
+		if to != "" && t.Key >= to {
+			return false
+		}
+		return fn(t)
+	})
+}
+
+// ForEach visits every entry, tombstones included, in key order.
+func (s *Store) ForEach(fn func(*tuple.Tuple) bool) {
+	for e := s.head.next[0]; e != nil; e = e.next[0] {
+		if !fn(e.tup.Clone()) {
+			return
+		}
+	}
+}
+
+// KeysInArc returns the keys (tombstones included) whose ring point lies
+// in the arc — the unit of responsibility sieves and repair reason about.
+func (s *Store) KeysInArc(arc node.Arc) []string {
+	var out []string
+	for e := s.head.next[0]; e != nil; e = e.next[0] {
+		if arc.Contains(e.point) {
+			out = append(out, e.key)
+		}
+	}
+	return out
+}
+
+// DigestArc summarises the (key, version) pairs inside the arc as an
+// order-independent 64-bit digest. Two replicas with equal digests hold
+// identical data for the range with overwhelming probability; unequal
+// digests trigger key-level reconciliation.
+func (s *Store) DigestArc(arc node.Arc) uint64 {
+	var d uint64
+	for e := s.head.next[0]; e != nil; e = e.next[0] {
+		if arc.Contains(e.point) {
+			d ^= entryHash(e.key, e.tup.Version)
+		}
+	}
+	return d
+}
+
+// VersionsInArc returns key -> version for the arc, the exchange unit of
+// range reconciliation.
+func (s *Store) VersionsInArc(arc node.Arc) map[string]tuple.Version {
+	out := make(map[string]tuple.Version)
+	for e := s.head.next[0]; e != nil; e = e.next[0] {
+		if arc.Contains(e.point) {
+			out[e.key] = e.tup.Version
+		}
+	}
+	return out
+}
+
+// entryHash mixes key and version into one 64-bit value.
+func entryHash(key string, v tuple.Version) uint64 {
+	h := uint64(node.HashKey(key))
+	h ^= v.Seq * 0x9e3779b97f4a7c15
+	h ^= uint64(v.Writer) * 0xc4ceb9fe1a85ec53
+	h ^= h >> 29
+	return h
+}

@@ -1,0 +1,308 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"datadroplets/internal/node"
+	"datadroplets/internal/tuple"
+)
+
+func newStore() *Store { return New(rand.New(rand.NewSource(1))) }
+
+func mk(key string, seq uint64, val string) *tuple.Tuple {
+	return &tuple.Tuple{Key: key, Value: []byte(val), Version: tuple.Version{Seq: seq, Writer: 1}}
+}
+
+func TestApplyAndGet(t *testing.T) {
+	s := newStore()
+	if !s.Apply(mk("a", 1, "v1")) {
+		t.Fatal("first apply rejected")
+	}
+	got, ok := s.Get("a")
+	if !ok || string(got.Value) != "v1" {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestLastWriterWins(t *testing.T) {
+	s := newStore()
+	s.Apply(mk("a", 2, "new"))
+	if s.Apply(mk("a", 1, "old")) {
+		t.Fatal("stale write applied")
+	}
+	if s.Apply(mk("a", 2, "dup")) {
+		t.Fatal("duplicate version applied")
+	}
+	if !s.Apply(mk("a", 3, "newer")) {
+		t.Fatal("newer write rejected")
+	}
+	got, _ := s.Get("a")
+	if string(got.Value) != "newer" {
+		t.Fatalf("value = %q", got.Value)
+	}
+}
+
+func TestTombstones(t *testing.T) {
+	s := newStore()
+	s.Apply(mk("a", 1, "v"))
+	del := mk("a", 2, "")
+	del.Deleted = true
+	if !s.Apply(del) {
+		t.Fatal("tombstone rejected")
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("Get returned tombstoned tuple")
+	}
+	if got, ok := s.GetAny("a"); !ok || !got.Deleted {
+		t.Fatal("GetAny should return tombstone")
+	}
+	if s.Len() != 0 || s.Total() != 1 {
+		t.Fatalf("Len/Total = %d/%d", s.Len(), s.Total())
+	}
+	// A write newer than the tombstone resurrects the key.
+	if !s.Apply(mk("a", 3, "back")) {
+		t.Fatal("resurrection rejected")
+	}
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("resurrected key missing")
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	s := newStore()
+	keys := []string{"mango", "apple", "zebra", "kiwi", "banana"}
+	for i, k := range keys {
+		s.Apply(mk(k, uint64(i+1), k))
+	}
+	var got []string
+	s.Scan("", 0, func(tp *tuple.Tuple) bool {
+		got = append(got, tp.Key)
+		return true
+	})
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d keys", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScanFromAndLimit(t *testing.T) {
+	s := newStore()
+	for i := 0; i < 10; i++ {
+		s.Apply(mk(fmt.Sprintf("k%02d", i), 1, "v"))
+	}
+	var got []string
+	s.Scan("k05", 3, func(tp *tuple.Tuple) bool {
+		got = append(got, tp.Key)
+		return true
+	})
+	if len(got) != 3 || got[0] != "k05" || got[2] != "k07" {
+		t.Fatalf("scan = %v", got)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	s := newStore()
+	for i := 0; i < 10; i++ {
+		s.Apply(mk(fmt.Sprintf("k%02d", i), 1, "v"))
+	}
+	var got []string
+	s.ScanRange("k03", "k07", func(tp *tuple.Tuple) bool {
+		got = append(got, tp.Key)
+		return true
+	})
+	if len(got) != 4 || got[0] != "k03" || got[3] != "k06" {
+		t.Fatalf("range scan = %v", got)
+	}
+}
+
+func TestScanSkipsTombstones(t *testing.T) {
+	s := newStore()
+	s.Apply(mk("a", 1, "v"))
+	del := mk("b", 1, "")
+	del.Deleted = true
+	s.Apply(del)
+	s.Apply(mk("c", 1, "v"))
+	count := 0
+	s.Scan("", 0, func(*tuple.Tuple) bool { count++; return true })
+	if count != 2 {
+		t.Fatalf("scan visited %d live tuples, want 2", count)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	s := newStore()
+	s.Apply(mk("a", 1, "v"))
+	s.Apply(mk("b", 1, "v"))
+	if !s.Drop("a") {
+		t.Fatal("drop failed")
+	}
+	if s.Drop("a") {
+		t.Fatal("double drop succeeded")
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("dropped key still present")
+	}
+	if s.Len() != 1 || s.Total() != 1 {
+		t.Fatalf("Len/Total = %d/%d", s.Len(), s.Total())
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	s := newStore()
+	s.SetCapacity(10)
+	if !s.Apply(mk("a", 1, "12345")) {
+		t.Fatal("first insert rejected")
+	}
+	if s.Apply(mk("b", 1, "123456789")) {
+		t.Fatal("capacity exceeded but insert accepted")
+	}
+	if s.CapacityRejections() != 1 {
+		t.Fatalf("capHit = %d", s.CapacityRejections())
+	}
+	// Updates to existing keys always apply.
+	if !s.Apply(mk("a", 2, "123")) {
+		t.Fatal("update rejected by capacity")
+	}
+	if s.Bytes() != 3 {
+		t.Fatalf("bytes = %d, want 3", s.Bytes())
+	}
+}
+
+func TestGetReturnsClone(t *testing.T) {
+	s := newStore()
+	s.Apply(mk("a", 1, "orig"))
+	got, _ := s.Get("a")
+	got.Value[0] = 'X'
+	again, _ := s.Get("a")
+	if string(again.Value) != "orig" {
+		t.Fatal("Get leaked internal state")
+	}
+}
+
+func TestKeysInArcAndDigest(t *testing.T) {
+	s := newStore()
+	for i := 0; i < 200; i++ {
+		s.Apply(mk(fmt.Sprintf("key-%d", i), 1, "v"))
+	}
+	arc := node.Arc{Start: 0, Width: 1 << 62} // quarter of the ring
+	keys := s.KeysInArc(arc)
+	for _, k := range keys {
+		if !arc.Contains(node.HashKey(k)) {
+			t.Fatalf("key %q outside arc", k)
+		}
+	}
+	// Roughly a quarter of keys (binomial, generous band).
+	if len(keys) < 20 || len(keys) > 90 {
+		t.Fatalf("arc holds %d of 200 keys, expected ≈50", len(keys))
+	}
+	// Digest equality for equal content, inequality after a change.
+	s2 := newStore()
+	for i := 199; i >= 0; i-- { // different insertion order
+		s2.Apply(mk(fmt.Sprintf("key-%d", i), 1, "v"))
+	}
+	if s.DigestArc(arc) != s2.DigestArc(arc) {
+		t.Fatal("digest differs for identical content")
+	}
+	s2.Apply(mk(keys[0], 2, "changed"))
+	if s.DigestArc(arc) == s2.DigestArc(arc) {
+		t.Fatal("digest unchanged after version bump")
+	}
+}
+
+func TestVersionsInArc(t *testing.T) {
+	s := newStore()
+	s.Apply(mk("a", 3, "v"))
+	vs := s.VersionsInArc(node.FullArc())
+	if vs["a"].Seq != 3 {
+		t.Fatalf("versions = %v", vs)
+	}
+}
+
+// TestApplyConvergence is the LWW CRDT property: any permutation of any
+// subset of writes that includes the maximal version converges to the
+// same value.
+func TestApplyConvergence(t *testing.T) {
+	writes := make([]*tuple.Tuple, 8)
+	for i := range writes {
+		writes[i] = mk("k", uint64(i+1), fmt.Sprintf("v%d", i+1))
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(rng)
+		perm := rng.Perm(len(writes))
+		for _, i := range perm {
+			s.Apply(writes[i])
+		}
+		got, ok := s.Get("k")
+		return ok && string(got.Value) == "v8"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSkiplistLargeScale exercises ordering and lookup at a size that
+// forces multiple levels.
+func TestSkiplistLargeScale(t *testing.T) {
+	s := newStore()
+	rng := rand.New(rand.NewSource(9))
+	const n = 20000
+	perm := rng.Perm(n)
+	for _, i := range perm {
+		s.Apply(mk(fmt.Sprintf("key-%08d", i), 1, "v"))
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%08d", rng.Intn(n))
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("missing key %q", k)
+		}
+	}
+	prev := ""
+	violations := 0
+	s.Scan("", 0, func(tp *tuple.Tuple) bool {
+		if tp.Key <= prev && prev != "" {
+			violations++
+		}
+		prev = tp.Key
+		return true
+	})
+	if violations != 0 {
+		t.Fatalf("%d ordering violations in scan", violations)
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	s := newStore()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Apply(mk(fmt.Sprintf("key-%d", i%100000), uint64(i+1), "value"))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := newStore()
+	for i := 0; i < 100000; i++ {
+		s.Apply(mk(fmt.Sprintf("key-%d", i), 1, "value"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(fmt.Sprintf("key-%d", i%100000))
+	}
+}

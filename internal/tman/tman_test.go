@@ -1,0 +1,253 @@
+package tman
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"datadroplets/internal/membership"
+	"datadroplets/internal/node"
+	"datadroplets/internal/sim"
+)
+
+type cluster struct {
+	net      *sim.Network
+	machines map[node.ID]*Overlay
+	ids      []node.ID
+	values   map[node.ID]float64
+}
+
+func newCluster(n int, seed int64, cfg Config, valueOf func(i int) float64) *cluster {
+	c := &cluster{
+		net:      sim.New(sim.Config{Seed: seed}),
+		machines: make(map[node.ID]*Overlay, n),
+		values:   make(map[node.ID]float64, n),
+	}
+	ids := make([]node.ID, n)
+	for i := range ids {
+		ids[i] = node.ID(i + 1)
+	}
+	c.ids = ids
+	pop := func() []node.ID { return ids }
+	for i := 0; i < n; i++ {
+		v := valueOf(i)
+		c.net.Spawn(func(id node.ID, rng *rand.Rand) sim.Machine {
+			o := New(id, rng, membership.NewUniformView(id, rng, pop), v, cfg)
+			c.machines[id] = o
+			c.values[id] = v
+			return o
+		})
+	}
+	return c
+}
+
+// successorCorrectness returns the fraction of nodes whose Successor is
+// the true global successor in value order.
+func (c *cluster) successorCorrectness() float64 {
+	type nv struct {
+		id node.ID
+		v  float64
+	}
+	all := make([]nv, 0, len(c.machines))
+	for id, v := range c.values {
+		if c.net.Alive(id) {
+			all = append(all, nv{id, v})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v < all[j].v
+		}
+		return all[i].id < all[j].id
+	})
+	correct := 0
+	for i := 0; i+1 < len(all); i++ {
+		got, ok := c.machines[all[i].id].Successor()
+		if ok && got.ID == all[i+1].id {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(all)-1)
+}
+
+func TestConvergesToSortedLine(t *testing.T) {
+	// Shuffled values 0..N-1: after O(log N) rounds nearly every node
+	// should know its exact successor.
+	const n = 200
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(n)
+	c := newCluster(n, 3, Config{Attr: "x", ViewSize: 10},
+		func(i int) float64 { return float64(perm[i]) })
+	c.net.Run(40)
+	if got := c.successorCorrectness(); got < 0.95 {
+		t.Fatalf("successor correctness = %v after 40 rounds", got)
+	}
+}
+
+func TestConvergenceIsFast(t *testing.T) {
+	const n = 100
+	rng := rand.New(rand.NewSource(2))
+	perm := rng.Perm(n)
+	c := newCluster(n, 5, Config{Attr: "x", ViewSize: 12},
+		func(i int) float64 { return float64(perm[i]) })
+	rounds := 0
+	for ; rounds < 100; rounds++ {
+		if c.successorCorrectness() >= 0.9 {
+			break
+		}
+		c.net.Step()
+	}
+	if rounds >= 100 {
+		t.Fatalf("no 90%% convergence within 100 rounds")
+	}
+	// T-Man converges in O(log N); generous bound.
+	if rounds > 60 {
+		t.Fatalf("took %d rounds to converge, too slow", rounds)
+	}
+}
+
+func TestSuccessorPredecessorConsistent(t *testing.T) {
+	const n = 60
+	c := newCluster(n, 7, Config{Attr: "x", ViewSize: 8},
+		func(i int) float64 { return float64(i * 10) })
+	c.net.Run(40)
+	for _, id := range c.ids {
+		o := c.machines[id]
+		if s, ok := o.Successor(); ok && s.Value <= o.Value() {
+			t.Fatalf("node %v successor value %v <= own %v", id, s.Value, o.Value())
+		}
+		if p, ok := o.Predecessor(); ok && p.Value >= o.Value() {
+			t.Fatalf("node %v predecessor value %v >= own %v", id, p.Value, o.Value())
+		}
+	}
+}
+
+func TestWalkFollowsValueOrder(t *testing.T) {
+	// Walking successors from the minimum must visit every node in value
+	// order — the property range scans rely on.
+	const n = 80
+	c := newCluster(n, 9, Config{Attr: "x", ViewSize: 10},
+		func(i int) float64 { return float64((i * 37) % n) })
+	c.net.Run(60)
+	// Find the node with the minimum value.
+	minID := c.ids[0]
+	for id, v := range c.values {
+		if v < c.values[minID] {
+			minID = id
+		}
+	}
+	visited := 1
+	cur := minID
+	for {
+		s, ok := c.machines[cur].Successor()
+		if !ok {
+			break
+		}
+		if c.values[s.ID] <= c.values[cur] {
+			t.Fatalf("walk went backwards: %v (%v) -> %v (%v)",
+				cur, c.values[cur], s.ID, c.values[s.ID])
+		}
+		cur = s.ID
+		visited++
+		if visited > n {
+			t.Fatal("walk cycled")
+		}
+	}
+	if visited < n*95/100 {
+		t.Fatalf("walk visited %d of %d nodes", visited, n)
+	}
+}
+
+func TestMultipleOrderingsIndependent(t *testing.T) {
+	// Two overlays on different attributes over the same transport must
+	// not cross-contaminate (Attr filter).
+	net := sim.New(sim.Config{Seed: 11})
+	ids := []node.ID{1, 2, 3, 4, 5, 6}
+	pop := func() []node.ID { return ids }
+	type pair struct{ a, b *Overlay }
+	machines := map[node.ID]*pair{}
+	for i := 0; i < len(ids); i++ {
+		vi := float64(i)
+		net.Spawn(func(id node.ID, rng *rand.Rand) sim.Machine {
+			p := &pair{
+				a: New(id, rng, membership.NewUniformView(id, rng, pop), vi, Config{Attr: "a", ViewSize: 4}),
+				b: New(id, rng, membership.NewUniformView(id, rng, pop), -vi, Config{Attr: "b", ViewSize: 4}),
+			}
+			machines[id] = p
+			return &fanMachine{subs: []sim.Machine{p.a, p.b}}
+		})
+	}
+	net.Run(30)
+	// In overlay a, node 1 (value 0) has successor node 2 (value 1); in
+	// overlay b (negated values) its successor must not exist (it holds
+	// the max) while its predecessor is node 2.
+	pa := machines[1]
+	if s, ok := pa.a.Successor(); !ok || s.ID != 2 {
+		t.Fatalf("overlay a successor of node 1 = %v, want node 2", s)
+	}
+	if _, ok := pa.b.Successor(); ok {
+		t.Fatal("overlay b: node 1 holds max value but has a successor")
+	}
+}
+
+// fanMachine dispatches one simulated node's traffic to several
+// sub-machines — the composition pattern the epidemic node uses.
+type fanMachine struct{ subs []sim.Machine }
+
+func (f *fanMachine) Start(now sim.Round) []sim.Envelope {
+	var out []sim.Envelope
+	for _, s := range f.subs {
+		out = append(out, s.Start(now)...)
+	}
+	return out
+}
+
+func (f *fanMachine) Tick(now sim.Round) []sim.Envelope {
+	var out []sim.Envelope
+	for _, s := range f.subs {
+		out = append(out, s.Tick(now)...)
+	}
+	return out
+}
+
+func (f *fanMachine) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
+	var out []sim.Envelope
+	for _, s := range f.subs {
+		out = append(out, s.Handle(now, from, msg)...)
+	}
+	return out
+}
+
+func TestHealsAfterChurn(t *testing.T) {
+	const n = 100
+	rng := rand.New(rand.NewSource(4))
+	perm := rng.Perm(n)
+	c := newCluster(n, 13, Config{Attr: "x", ViewSize: 10},
+		func(i int) float64 { return float64(perm[i]) })
+	c.net.Run(40)
+	// Permanently remove a fifth of the nodes.
+	for i := 0; i < n/5; i++ {
+		c.net.Kill(node.ID(rng.Intn(n)+1), true)
+	}
+	c.net.Run(60)
+	if got := c.successorCorrectness(); got < 0.85 {
+		t.Fatalf("successor correctness = %v after churn healing", got)
+	}
+}
+
+func TestSetValueReconverges(t *testing.T) {
+	const n = 50
+	c := newCluster(n, 15, Config{Attr: "x", ViewSize: 8},
+		func(i int) float64 { return float64(i) })
+	c.net.Run(30)
+	// Move node 1 (value 0) to the top of the order.
+	c.machines[1].SetValue(1000)
+	c.values[1] = 1000
+	c.net.Run(40)
+	if _, ok := c.machines[1].Successor(); ok {
+		t.Fatal("node moved to max still reports a successor")
+	}
+	if p, ok := c.machines[1].Predecessor(); !ok || p.ID != node.ID(n) {
+		t.Fatalf("predecessor after move = %v, want node %d", p, n)
+	}
+}

@@ -1,0 +1,347 @@
+// Package transport drives the same protocol state machines the
+// simulator drives, but over real TCP between processes: one goroutine
+// owns the machine (serialising Tick/Handle exactly like a simulator
+// round), a listener feeds received envelopes into its mailbox, and an
+// outbound connection cache delivers envelopes best-effort — message
+// loss on broken connections is exactly the fault model the epidemic
+// protocols are built to absorb.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"datadroplets/internal/aggregate"
+	"datadroplets/internal/epidemic"
+	"datadroplets/internal/gossip"
+	"datadroplets/internal/histogram"
+	"datadroplets/internal/node"
+	"datadroplets/internal/randomwalk"
+	"datadroplets/internal/repair"
+	"datadroplets/internal/sim"
+	"datadroplets/internal/sizeest"
+	"datadroplets/internal/tman"
+	"datadroplets/internal/tuple"
+)
+
+// RegisterMessages registers every protocol message with gob. Call once
+// before creating hosts (safe to call multiple times only in separate
+// processes; gob panics on duplicate registration within one process, so
+// guard with the package-level once).
+var registerOnce sync.Once
+
+// RegisterMessages makes all wire types known to gob.
+func RegisterMessages() {
+	registerOnce.Do(func() {
+		gob.Register(gossip.RumorMsg{})
+		gob.Register(gossip.DigestReq{})
+		gob.Register(gossip.DigestResp{})
+		gob.Register(gossip.Rumor{})
+		gob.Register(epidemic.WritePayload{})
+		gob.Register(epidemic.StoreAck{})
+		gob.Register(epidemic.ReadReq{})
+		gob.Register(epidemic.ReadResp{})
+		gob.Register(epidemic.ScanReq{})
+		gob.Register(epidemic.ScanResp{})
+		gob.Register(epidemic.AggReq{})
+		gob.Register(epidemic.AggResp{})
+		gob.Register(epidemic.RecoverReq{})
+		gob.Register(epidemic.RecoverResp{})
+		gob.Register(sizeest.VectorPush{})
+		gob.Register(sizeest.VectorReply{})
+		gob.Register(histogram.SketchPush{})
+		gob.Register(histogram.SketchReply{})
+		gob.Register(randomwalk.WalkMsg{})
+		gob.Register(randomwalk.WalkResult{})
+		gob.Register(repair.SyncReq{})
+		gob.Register(repair.SyncVersions{})
+		gob.Register(repair.SyncPull{})
+		gob.Register(repair.SyncPush{})
+		gob.Register(repair.AdoptReq{})
+		gob.Register(tman.Exchange{})
+		gob.Register(aggregate.Mass{})
+		gob.Register(&tuple.Tuple{})
+	})
+}
+
+// envelope is the wire frame.
+type envelope struct {
+	From node.ID
+	Msg  any
+}
+
+// Peer maps a node ID to its TCP address.
+type Peer struct {
+	ID   node.ID
+	Addr string
+}
+
+// Config assembles a Host.
+type Config struct {
+	// Self is this host's node ID; it must appear in Peers.
+	Self node.ID
+	// Peers is the full address book (static for this release; the
+	// membership protocols tolerate stale entries by design).
+	Peers []Peer
+	// TickInterval is the wall-clock length of one protocol round.
+	// Zero means 200ms.
+	TickInterval time.Duration
+	// Logger receives connection diagnostics; nil silences them.
+	Logger *log.Logger
+}
+
+// Host runs one protocol machine over TCP.
+type Host struct {
+	cfg     Config
+	machine sim.Machine
+
+	listener net.Listener
+	mailbox  chan envelope
+	requests chan func(m sim.Machine, now sim.Round) []sim.Envelope
+
+	mu      sync.Mutex
+	conns   map[node.ID]*outConn
+	inbound map[net.Conn]struct{}
+	addrs   map[node.ID]string
+
+	round    sim.Round
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// Sent and Dropped count outbound envelopes.
+	Sent    int64
+	Dropped int64
+}
+
+type outConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	mu  sync.Mutex
+}
+
+// NewHost wraps a machine. Call Start to begin serving.
+func NewHost(cfg Config, m sim.Machine) (*Host, error) {
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = 200 * time.Millisecond
+	}
+	addrs := make(map[node.ID]string, len(cfg.Peers))
+	var selfAddr string
+	for _, p := range cfg.Peers {
+		addrs[p.ID] = p.Addr
+		if p.ID == cfg.Self {
+			selfAddr = p.Addr
+		}
+	}
+	if selfAddr == "" {
+		return nil, errors.New("transport: self not in peer list")
+	}
+	RegisterMessages()
+	return &Host{
+		cfg:      cfg,
+		machine:  m,
+		mailbox:  make(chan envelope, 1024),
+		requests: make(chan func(sim.Machine, sim.Round) []sim.Envelope),
+		conns:    make(map[node.ID]*outConn),
+		inbound:  make(map[net.Conn]struct{}),
+		addrs:    addrs,
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0" configs).
+func (h *Host) Addr() string {
+	if h.listener == nil {
+		return ""
+	}
+	return h.listener.Addr().String()
+}
+
+// Start binds the listener and launches the accept and driver loops.
+func (h *Host) Start() error {
+	ln, err := net.Listen("tcp", h.addrs[h.cfg.Self])
+	if err != nil {
+		return fmt.Errorf("transport: listen: %w", err)
+	}
+	h.listener = ln
+	h.wg.Add(2)
+	go h.acceptLoop()
+	go h.driverLoop()
+	return nil
+}
+
+// Stop shuts the host down and waits for its goroutines. Idempotent.
+func (h *Host) Stop() {
+	h.stopOnce.Do(func() {
+		close(h.done)
+		if h.listener != nil {
+			_ = h.listener.Close()
+		}
+		h.mu.Lock()
+		for _, oc := range h.conns {
+			_ = oc.c.Close()
+		}
+		for c := range h.inbound {
+			_ = c.Close()
+		}
+		h.mu.Unlock()
+		h.wg.Wait()
+	})
+}
+
+// Do runs f inside the driver goroutine — the only place machine state
+// may be touched — and sends any envelopes f produces. It blocks until f
+// has run or the host is stopped.
+func (h *Host) Do(f func(m sim.Machine, now sim.Round) []sim.Envelope) error {
+	ack := make(chan struct{})
+	wrapped := func(m sim.Machine, now sim.Round) []sim.Envelope {
+		defer close(ack)
+		return f(m, now)
+	}
+	select {
+	case h.requests <- wrapped:
+		<-ack
+		return nil
+	case <-h.done:
+		return errors.New("transport: host stopped")
+	}
+}
+
+func (h *Host) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		c, err := h.listener.Accept()
+		if err != nil {
+			select {
+			case <-h.done:
+				return
+			default:
+				h.logf("accept: %v", err)
+				return
+			}
+		}
+		h.wg.Add(1)
+		go h.readLoop(c)
+	}
+}
+
+func (h *Host) readLoop(c net.Conn) {
+	defer h.wg.Done()
+	h.mu.Lock()
+	h.inbound[c] = struct{}{}
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.inbound, c)
+		h.mu.Unlock()
+		_ = c.Close()
+	}()
+	dec := gob.NewDecoder(c)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return // peer closed or garbage: epidemic protocols tolerate loss
+		}
+		select {
+		case h.mailbox <- env:
+		case <-h.done:
+			return
+		}
+	}
+}
+
+func (h *Host) driverLoop() {
+	defer h.wg.Done()
+	ticker := time.NewTicker(h.cfg.TickInterval)
+	defer ticker.Stop()
+	h.send(h.machine.Start(h.round))
+	for {
+		select {
+		case <-h.done:
+			return
+		case <-ticker.C:
+			h.round++
+			h.send(h.machine.Tick(h.round))
+		case env := <-h.mailbox:
+			h.send(h.machine.Handle(h.round, env.From, env.Msg))
+		case f := <-h.requests:
+			h.send(f(h.machine, h.round))
+		}
+	}
+}
+
+// send delivers envelopes best-effort; failures drop the message and the
+// connection (it will be re-dialed on the next send).
+func (h *Host) send(envs []sim.Envelope) {
+	for _, e := range envs {
+		if e.To == h.cfg.Self {
+			select {
+			case h.mailbox <- envelope{From: h.cfg.Self, Msg: e.Msg}:
+			default:
+				h.Dropped++
+			}
+			continue
+		}
+		oc, err := h.conn(e.To)
+		if err != nil {
+			h.Dropped++
+			continue
+		}
+		oc.mu.Lock()
+		err = oc.enc.Encode(envelope{From: h.cfg.Self, Msg: e.Msg})
+		oc.mu.Unlock()
+		if err != nil {
+			h.Dropped++
+			h.dropConn(e.To, oc)
+			continue
+		}
+		h.Sent++
+	}
+}
+
+func (h *Host) conn(to node.ID) (*outConn, error) {
+	h.mu.Lock()
+	if oc, ok := h.conns[to]; ok {
+		h.mu.Unlock()
+		return oc, nil
+	}
+	addr, ok := h.addrs[to]
+	h.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown peer %v", to)
+	}
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	oc := &outConn{c: c, enc: gob.NewEncoder(c)}
+	h.mu.Lock()
+	if existing, ok := h.conns[to]; ok {
+		h.mu.Unlock()
+		_ = c.Close()
+		return existing, nil
+	}
+	h.conns[to] = oc
+	h.mu.Unlock()
+	return oc, nil
+}
+
+func (h *Host) dropConn(to node.ID, oc *outConn) {
+	h.mu.Lock()
+	if h.conns[to] == oc {
+		delete(h.conns, to)
+	}
+	h.mu.Unlock()
+	_ = oc.c.Close()
+}
+
+func (h *Host) logf(format string, args ...any) {
+	if h.cfg.Logger != nil {
+		h.cfg.Logger.Printf(format, args...)
+	}
+}

@@ -1,0 +1,220 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"datadroplets/internal/node"
+)
+
+// Wire format (little-endian, varint lengths):
+//
+//	magic byte 0xD7, format version byte 0x01
+//	key      : uvarint len + bytes
+//	version  : uvarint seq, uvarint writer
+//	flags    : 1 byte (bit0 = deleted, bit1 = has value)
+//	value    : uvarint len + bytes            (if bit1)
+//	attrs    : uvarint count + (name, float64 bits) pairs, name-sorted
+//	tags     : uvarint count + names
+//
+// The format is self-contained per tuple so gossip payloads and store
+// snapshots share one codec.
+
+const (
+	wireMagic   = 0xD7
+	wireVersion = 0x01
+
+	flagDeleted  = 1 << 0
+	flagHasValue = 1 << 1
+)
+
+// Codec errors.
+var (
+	ErrBadMagic   = errors.New("tuple: bad magic byte")
+	ErrBadVersion = errors.New("tuple: unsupported wire version")
+	ErrTruncated  = errors.New("tuple: truncated encoding")
+)
+
+// AppendMarshal appends the wire encoding of t to dst and returns the
+// extended slice. It never fails on a validated tuple.
+func AppendMarshal(dst []byte, t *Tuple) []byte {
+	dst = append(dst, wireMagic, wireVersion)
+	dst = appendString(dst, t.Key)
+	dst = binary.AppendUvarint(dst, t.Version.Seq)
+	dst = binary.AppendUvarint(dst, uint64(t.Version.Writer))
+	var flags byte
+	if t.Deleted {
+		flags |= flagDeleted
+	}
+	if t.Value != nil {
+		flags |= flagHasValue
+	}
+	dst = append(dst, flags)
+	if t.Value != nil {
+		dst = binary.AppendUvarint(dst, uint64(len(t.Value)))
+		dst = append(dst, t.Value...)
+	}
+	names := t.sortedAttrNames()
+	dst = binary.AppendUvarint(dst, uint64(len(names)))
+	for _, name := range names {
+		dst = appendString(dst, name)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(t.Attrs[name]))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(t.Tags)))
+	for _, tag := range t.Tags {
+		dst = appendString(dst, tag)
+	}
+	return dst
+}
+
+// Marshal returns the wire encoding of t.
+func Marshal(t *Tuple) []byte {
+	return AppendMarshal(make([]byte, 0, 64+len(t.Key)+len(t.Value)), t)
+}
+
+// Unmarshal decodes one tuple from b and returns it with the number of
+// bytes consumed, so callers can decode concatenated streams.
+func Unmarshal(b []byte) (*Tuple, int, error) {
+	r := reader{buf: b}
+	magic, err := r.byte()
+	if err != nil {
+		return nil, 0, err
+	}
+	if magic != wireMagic {
+		return nil, 0, ErrBadMagic
+	}
+	ver, err := r.byte()
+	if err != nil {
+		return nil, 0, err
+	}
+	if ver != wireVersion {
+		return nil, 0, fmt.Errorf("%w: %#x", ErrBadVersion, ver)
+	}
+	t := &Tuple{}
+	if t.Key, err = r.str(MaxKeyLen); err != nil {
+		return nil, 0, fmt.Errorf("key: %w", err)
+	}
+	seq, err := r.uvarint()
+	if err != nil {
+		return nil, 0, fmt.Errorf("version seq: %w", err)
+	}
+	writer, err := r.uvarint()
+	if err != nil {
+		return nil, 0, fmt.Errorf("version writer: %w", err)
+	}
+	t.Version = Version{Seq: seq, Writer: node.ID(writer)}
+	flags, err := r.byte()
+	if err != nil {
+		return nil, 0, err
+	}
+	t.Deleted = flags&flagDeleted != 0
+	if flags&flagHasValue != 0 {
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, 0, fmt.Errorf("value len: %w", err)
+		}
+		if n > MaxValueLen {
+			return nil, 0, ErrValueTooBig
+		}
+		raw, err := r.bytes(int(n))
+		if err != nil {
+			return nil, 0, fmt.Errorf("value: %w", err)
+		}
+		t.Value = make([]byte, n)
+		copy(t.Value, raw)
+	}
+	nattrs, err := r.uvarint()
+	if err != nil {
+		return nil, 0, fmt.Errorf("attr count: %w", err)
+	}
+	if nattrs > 0 {
+		if nattrs > 1<<16 {
+			return nil, 0, fmt.Errorf("tuple: %d attributes exceeds limit", nattrs)
+		}
+		t.Attrs = make(map[string]float64, nattrs)
+		for i := uint64(0); i < nattrs; i++ {
+			name, err := r.str(MaxKeyLen)
+			if err != nil {
+				return nil, 0, fmt.Errorf("attr name: %w", err)
+			}
+			raw, err := r.bytes(8)
+			if err != nil {
+				return nil, 0, fmt.Errorf("attr value: %w", err)
+			}
+			t.Attrs[name] = math.Float64frombits(binary.LittleEndian.Uint64(raw))
+		}
+	}
+	ntags, err := r.uvarint()
+	if err != nil {
+		return nil, 0, fmt.Errorf("tag count: %w", err)
+	}
+	if ntags > 0 {
+		if ntags > 1<<16 {
+			return nil, 0, fmt.Errorf("tuple: %d tags exceeds limit", ntags)
+		}
+		t.Tags = make([]string, 0, ntags)
+		for i := uint64(0); i < ntags; i++ {
+			tag, err := r.str(MaxKeyLen)
+			if err != nil {
+				return nil, 0, fmt.Errorf("tag: %w", err)
+			}
+			t.Tags = append(t.Tags, tag)
+		}
+	}
+	return t, r.pos, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// reader is a bounds-checked cursor over an encoded tuple.
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrTruncated
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.buf) {
+		return nil, ErrTruncated
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *reader) str(limit int) (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(limit) {
+		return "", ErrKeyTooLong
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
