@@ -79,6 +79,36 @@ func BenchmarkC13Cache(b *testing.B) { runExperiment(b, "C13") }
 // BenchmarkC14Recovery regenerates soft-state metadata reconstruction.
 func BenchmarkC14Recovery(b *testing.B) { runExperiment(b, "C14") }
 
+// benchThroughput drives the canonical 512-op mixed workload (50/50
+// read/write, uniform keys) through a fresh default 32-node cluster per
+// iteration at the given in-flight window, reporting simulated rounds
+// and ops/round alongside wall time.
+func benchThroughput(b *testing.B, window int) {
+	b.ReportAllocs()
+	totalRounds, totalOps := 0, 0
+	for i := 0; i < b.N; i++ {
+		c := throughputCluster(int64(100 + i))
+		res := mixedLoop(c, window, int64(900+i))
+		if res.Ops != 512 {
+			b.Fatalf("completed %d ops, want 512", res.Ops)
+		}
+		totalRounds += res.Rounds
+		totalOps += res.Ops
+		c.Close()
+	}
+	b.ReportMetric(float64(totalRounds)/float64(b.N), "rounds/workload")
+	b.ReportMetric(float64(totalOps)/float64(totalRounds), "ops/round")
+}
+
+// BenchmarkThroughputSerial is the old client model: one op in flight,
+// the whole network advancing for it alone.
+func BenchmarkThroughputSerial(b *testing.B) { benchThroughput(b, 1) }
+
+// BenchmarkThroughputPipelined shares gossip rounds across a 64-op
+// in-flight window — the pipelined engine's headline win (≥5× fewer
+// simulated rounds than serial; see TestThroughputPipelinedVsSerial).
+func BenchmarkThroughputPipelined(b *testing.B) { benchThroughput(b, 64) }
+
 // BenchmarkPutGet measures the end-to-end client path of the public API
 // (per-operation cost on an in-process 32-node cluster).
 func BenchmarkPutGet(b *testing.B) {

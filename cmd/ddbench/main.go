@@ -8,7 +8,12 @@
 //	ddbench -run all -scale 0.2            # quick pass over everything
 //	ddbench -run C8 -scale 1 -seed 7       # full-scale churn comparison
 //	ddbench -run C1,C2,C3 -csv out/        # dissemination suite + CSVs
+//	ddbench -run throughput -json BENCH_throughput.json
 //	ddbench -list
+//
+// Besides the experiment IDs, -run throughput sweeps the pipelined
+// client engine over several in-flight window sizes and prints
+// ops/round and ops/sec (optionally as JSON via -json).
 package main
 
 import (
@@ -24,17 +29,27 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		scale = flag.Float64("scale", 0.25, "population/trial scale (1.0 = paper scale)")
-		seed  = flag.Int64("seed", 42, "random seed")
-		csv   = flag.String("csv", "", "directory to write per-table CSV files (optional)")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		run     = flag.String("run", "all", "comma-separated experiment IDs, 'all', or 'throughput'")
+		scale   = flag.Float64("scale", 0.25, "population/trial scale (1.0 = paper scale)")
+		seed    = flag.Int64("seed", 42, "random seed")
+		csv     = flag.String("csv", "", "directory to write per-table CSV files (optional)")
+		jsonOut = flag.String("json", "", "file to write the throughput report as JSON (with -run throughput)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		fmt.Println("throughput")
+		return
+	}
+
+	if *run == "throughput" {
+		if err := runThroughput(*seed, *scale, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"datadroplets"
+	"datadroplets/internal/workload"
+)
+
+// throughputWindows are the in-flight window sizes the throughput sweep
+// measures, from the serial baseline up.
+var throughputWindows = []int{1, 4, 16, 64, 256}
+
+// asyncClient adapts the public facade to workload.AsyncClient.
+type asyncClient struct{ c *datadroplets.Cluster }
+
+func (a asyncClient) SubmitPut(key string, value []byte) workload.Waiter {
+	return a.c.PutAsync(key, value, nil, nil)
+}
+func (a asyncClient) SubmitGet(key string) workload.Waiter { return a.c.GetAsync(key) }
+func (a asyncClient) Step()                                { a.c.Step() }
+
+// throughputResult is one row of the sweep, shaped for
+// BENCH_throughput.json so future PRs can track the trajectory.
+type throughputResult struct {
+	Window      int     `json:"window"`
+	Ops         int     `json:"ops"`
+	Rounds      int     `json:"rounds"`
+	OpsPerRound float64 `json:"ops_per_round"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	Misses      int     `json:"misses"`
+	Errors      int     `json:"errors"`
+}
+
+type throughputReport struct {
+	Benchmark string `json:"benchmark"`
+	Seed      int64  `json:"seed"`
+	Cluster   struct {
+		PersistentNodes int `json:"persistent_nodes"`
+		SoftNodes       int `json:"soft_nodes"`
+		Replication     int `json:"replication"`
+	} `json:"cluster"`
+	TotalOps     int                `json:"total_ops"`
+	ReadFraction float64            `json:"read_fraction"`
+	Results      []throughputResult `json:"results"`
+}
+
+// runThroughput sweeps the closed-loop mixed workload over the window
+// sizes, prints ops/round and ops/sec per window, and optionally writes
+// the JSON report.
+func runThroughput(seed int64, scale float64, jsonPath string) error {
+	const (
+		persistentNodes = 32
+		softNodes       = 4
+		replication     = 3
+		readFraction    = 0.5
+	)
+	totalOps := int(2048 * scale)
+	if totalOps < 128 {
+		totalOps = 128
+	}
+
+	report := throughputReport{Benchmark: "throughput", Seed: seed, TotalOps: totalOps, ReadFraction: readFraction}
+	report.Cluster.PersistentNodes = persistentNodes
+	report.Cluster.SoftNodes = softNodes
+	report.Cluster.Replication = replication
+
+	fmt.Printf("throughput: %d-op mixed workload (%.0f%% reads), %d persistent + %d soft nodes, seed %d\n",
+		totalOps, readFraction*100, persistentNodes, softNodes, seed)
+	fmt.Printf("%8s %8s %8s %12s %12s %8s %8s\n", "window", "ops", "rounds", "ops/round", "ops/sec", "misses", "errors")
+	for _, window := range throughputWindows {
+		c := datadroplets.New(
+			datadroplets.WithNodes(persistentNodes),
+			datadroplets.WithSoftNodes(softNodes),
+			datadroplets.WithReplication(replication),
+			datadroplets.WithFanoutC(3),
+			datadroplets.WithSeed(seed),
+		)
+		c.Advance(20)
+		rng := rand.New(rand.NewSource(seed + int64(window)))
+		cl := workload.ClosedLoop{
+			Window: window,
+			Total:  totalOps,
+			Mix:    workload.Mix{ReadFraction: readFraction, Keys: workload.UniformKeys(totalOps/2, rng)},
+			IsMiss: func(err error) bool { return errors.Is(err, datadroplets.ErrNotFound) },
+		}
+		start := time.Now()
+		res := cl.Run(asyncClient{c}, rng)
+		elapsed := time.Since(start).Seconds()
+		c.Close()
+		row := throughputResult{
+			Window:      window,
+			Ops:         res.Ops,
+			Rounds:      res.Rounds,
+			OpsPerRound: res.OpsPerRound(),
+			OpsPerSec:   float64(res.Ops) / elapsed,
+			Misses:      res.Misses,
+			Errors:      res.Errors,
+		}
+		report.Results = append(report.Results, row)
+		fmt.Printf("%8d %8d %8d %12.3f %12.0f %8d %8d\n",
+			row.Window, row.Ops, row.Rounds, row.OpsPerRound, row.OpsPerSec, row.Misses, row.Errors)
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -1,9 +1,13 @@
 package datadroplets
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"testing"
+
+	"datadroplets/internal/workload"
 )
 
 func TestFacadeQuickstart(t *testing.T) {
@@ -68,6 +72,111 @@ func TestFacadeAggregates(t *testing.T) {
 	}
 	if agg.NEstimate < 15 || agg.NEstimate > 60 {
 		t.Fatalf("NEstimate = %v, want ≈30", agg.NEstimate)
+	}
+}
+
+func TestFacadeAsyncBatch(t *testing.T) {
+	c := New(WithNodes(24), WithSoftNodes(2), WithReplication(3), WithSeed(5), WithFanoutC(3))
+	defer c.Close()
+	c.Advance(15)
+	puts := make([]PutOp, 16)
+	for i := range puts {
+		puts[i] = PutOp{Key: fmt.Sprintf("b-%d", i), Value: []byte(fmt.Sprintf("v%d", i))}
+	}
+	for i, err := range c.BatchPut(puts) {
+		if err != nil {
+			t.Fatalf("batch put %d: %v", i, err)
+		}
+	}
+	gets := make([]BatchOp, 16)
+	for i := range gets {
+		gets[i] = BatchOp{Kind: OpGet, Key: fmt.Sprintf("b-%d", i)}
+	}
+	for i, r := range c.Batch(gets) {
+		if r.Err != nil || string(r.Tuple.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("batch get %d = %v, %v", i, r.Tuple, r.Err)
+		}
+	}
+	// Raw handle flow: submit, wait, inspect.
+	h := c.GetAsync("b-3")
+	c.Wait()
+	if !h.Done() || h.Err() != nil || string(h.Tuple().Value) != "v3" {
+		t.Fatalf("async get = %v, %v", h.Tuple(), h.Err())
+	}
+	if c.InFlight() != 0 {
+		t.Fatalf("in-flight = %d after Wait", c.InFlight())
+	}
+}
+
+// asyncClient adapts the public facade to workload.AsyncClient without
+// leaking the internal interface into the exported API.
+type asyncClient struct{ c *Cluster }
+
+func (a asyncClient) SubmitPut(key string, value []byte) workload.Waiter {
+	return a.c.PutAsync(key, value, nil, nil)
+}
+func (a asyncClient) SubmitGet(key string) workload.Waiter { return a.c.GetAsync(key) }
+func (a asyncClient) Step()                                { a.c.Step() }
+
+// throughputCluster is the default 32-node deployment the throughput
+// acceptance criterion is stated against.
+func throughputCluster(seed int64) *Cluster {
+	c := New(WithNodes(32), WithSoftNodes(4), WithReplication(3), WithFanoutC(3), WithSeed(seed))
+	c.Advance(20)
+	return c
+}
+
+// mixedLoop runs the canonical 512-op mixed workload at the given
+// window and returns the loop stats.
+func mixedLoop(c *Cluster, window int, rngSeed int64) workload.ClosedLoopResult {
+	rng := rand.New(rand.NewSource(rngSeed))
+	cl := workload.ClosedLoop{
+		Window: window,
+		Total:  512,
+		Mix:    workload.Mix{ReadFraction: 0.5, Keys: workload.UniformKeys(256, rng)},
+	}
+	return cl.Run(asyncClient{c}, rng)
+}
+
+// TestThroughputPipelinedVsSerial enforces the PR's acceptance bar: a
+// 512-op mixed workload at window=64 on the default 32-node cluster
+// must finish in at most 1/5 the simulated rounds of the serial path,
+// with byte-identical results for equal seeds.
+func TestThroughputPipelinedVsSerial(t *testing.T) {
+	serial := mixedLoop(throughputCluster(7), 1, 70)
+	pipe := mixedLoop(throughputCluster(7), 64, 70)
+	if serial.Ops != 512 || pipe.Ops != 512 {
+		t.Fatalf("ops: serial %d, pipelined %d, want 512", serial.Ops, pipe.Ops)
+	}
+	if pipe.Rounds*5 > serial.Rounds {
+		t.Fatalf("pipelined rounds = %d, serial = %d — want ≥5× fewer", pipe.Rounds, serial.Rounds)
+	}
+
+	// Byte-identical determinism: rerun the pipelined workload with the
+	// same seeds and compare loop stats and every surviving value.
+	readBack := func(c *Cluster) [][]byte {
+		ops := make([]BatchOp, 256)
+		for i := range ops {
+			ops[i] = BatchOp{Kind: OpGet, Key: workload.Key(i)}
+		}
+		out := make([][]byte, len(ops))
+		for i, r := range c.Batch(ops) {
+			if r.Tuple != nil {
+				out[i] = r.Tuple.Value
+			}
+		}
+		return out
+	}
+	c1, c2 := throughputCluster(7), throughputCluster(7)
+	r1, r2 := mixedLoop(c1, 64, 70), mixedLoop(c2, 64, 70)
+	if r1 != r2 {
+		t.Fatalf("same seed, different loop stats: %+v vs %+v", r1, r2)
+	}
+	v1, v2 := readBack(c1), readBack(c2)
+	for i := range v1 {
+		if !bytes.Equal(v1[i], v2[i]) {
+			t.Fatalf("same seed, different value for key %d", i)
+		}
 	}
 }
 

@@ -1,0 +1,3 @@
+module datadroplets
+
+go 1.24

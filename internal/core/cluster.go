@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"math/rand"
 
 	"datadroplets/internal/dht"
@@ -74,6 +73,11 @@ type Cluster struct {
 
 	softIDs []node.ID
 	persIDs []node.ID
+
+	// inflight tracks async handles by op ID; maxDeadline is the latest
+	// deadline among them (WaitAll's termination bound).
+	inflight    map[uint64]*Pending
+	maxDeadline sim.Round
 }
 
 // Errors returned by the synchronous client helpers.
@@ -91,6 +95,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		softRing: dht.NewRing(cfg.Vnodes),
 		Softs:    make(map[node.ID]*SoftNode, cfg.SoftNodes),
 		Pers:     make(map[node.ID]*epidemic.Node, cfg.PersistentNodes),
+		inflight: make(map[uint64]*Pending),
 	}
 	// Persistent layer first: IDs 1..P.
 	persPop := func() []node.ID { return c.persIDs }
@@ -137,118 +142,48 @@ func (c *Cluster) AnySoft() *SoftNode {
 	return nil
 }
 
-// stepUntil advances the simulation until the op completes or maxRounds
-// elapse.
-func (c *Cluster) stepUntil(s *SoftNode, opID uint64, maxRounds int) (*Op, error) {
-	for i := 0; i < maxRounds; i++ {
-		op, ok := s.Op(opID)
-		if !ok {
-			return nil, fmt.Errorf("core: unknown op %d", opID)
-		}
-		if op.Done {
-			return op, nil
-		}
-		c.Net.Step()
-	}
-	op, _ := s.Op(opID)
-	if op != nil && op.Done {
-		return op, nil
-	}
-	return op, ErrTimeout
-}
-
 // Put writes a tuple and waits for the configured storage
 // acknowledgements.
 func (c *Cluster) Put(key string, value []byte, attrs map[string]float64, tags []string) error {
-	s := c.Route(key)
-	if s == nil {
-		return errors.New("core: no alive soft node")
-	}
-	opID, envs := s.Put(c.Net.Round(), key, value, attrs, tags, false)
-	c.Net.Emit(s.Self, envs)
-	op, err := c.stepUntil(s, opID, 200)
-	s.ForgetOp(opID)
-	if err != nil {
-		return err
-	}
-	if op.Err != "" {
-		return errors.New(op.Err)
-	}
-	return nil
+	p := c.PutAsync(key, value, attrs, tags)
+	c.wait(p)
+	return p.Err()
 }
 
 // Delete writes a tombstone.
 func (c *Cluster) Delete(key string) error {
-	s := c.Route(key)
-	if s == nil {
-		return errors.New("core: no alive soft node")
-	}
-	opID, envs := s.Put(c.Net.Round(), key, nil, nil, nil, true)
-	c.Net.Emit(s.Self, envs)
-	op, err := c.stepUntil(s, opID, 200)
-	s.ForgetOp(opID)
-	if err != nil {
-		return err
-	}
-	if op.Err != "" {
-		return errors.New(op.Err)
-	}
-	return nil
+	p := c.DeleteAsync(key)
+	c.wait(p)
+	return p.Err()
 }
 
 // Get reads the latest version of key.
 func (c *Cluster) Get(key string) (*tuple.Tuple, error) {
-	s := c.Route(key)
-	if s == nil {
-		return nil, errors.New("core: no alive soft node")
-	}
-	opID, envs := s.Get(c.Net.Round(), key)
-	c.Net.Emit(s.Self, envs)
-	op, err := c.stepUntil(s, opID, 200)
-	s.ForgetOp(opID)
-	if err != nil {
+	p := c.GetAsync(key)
+	c.wait(p)
+	if err := p.Err(); err != nil {
 		return nil, err
 	}
-	if op.Tuple == nil {
-		return nil, ErrNotFound
-	}
-	return op.Tuple, nil
+	return p.Tuple(), nil
 }
 
-// Scan performs an ordered range scan over the quantile attribute.
+// Scan performs an ordered range scan over the quantile attribute. A
+// timed-out scan with partial results returns them without error, like
+// it always has.
 func (c *Cluster) Scan(attr string, lo, hi float64, maxHops int) ([]*tuple.Tuple, error) {
-	s := c.AnySoft()
-	if s == nil {
-		return nil, errors.New("core: no alive soft node")
-	}
-	opID, envs := s.Scan(attr, lo, hi, maxHops)
-	c.Net.Emit(s.Self, envs)
-	op, err := c.stepUntil(s, opID, 300)
-	tuples := op.Tuples
-	s.ForgetOp(opID)
-	if err != nil && len(tuples) == 0 {
+	p := c.ScanAsync(attr, lo, hi, maxHops)
+	c.wait(p)
+	if err := p.Err(); err != nil && len(p.Tuples()) == 0 {
 		return nil, err
 	}
-	return tuples, nil
+	return p.Tuples(), nil
 }
 
 // Aggregate returns the continuous aggregate estimates for attr.
 func (c *Cluster) Aggregate(attr string) (epidemic.AggResp, error) {
-	s := c.AnySoft()
-	if s == nil {
-		return epidemic.AggResp{}, errors.New("core: no alive soft node")
-	}
-	opID, envs := s.Aggregate(attr)
-	c.Net.Emit(s.Self, envs)
-	op, err := c.stepUntil(s, opID, 100)
-	s.ForgetOp(opID)
-	if err != nil {
-		return epidemic.AggResp{}, err
-	}
-	if op.Err != "" {
-		return op.Agg, errors.New(op.Err)
-	}
-	return op.Agg, nil
+	p := c.AggregateAsync(attr)
+	c.wait(p)
+	return p.Agg(), p.Err()
 }
 
 // Run advances the whole deployment the given number of rounds (gossip
@@ -263,16 +198,20 @@ func (c *Cluster) WipeSoftLayer() {
 }
 
 // RecoverSoftLayer rebuilds soft metadata from the persistent layer and
-// returns the number of keys recovered across soft nodes.
+// returns the number of keys recovered across soft nodes. All soft-node
+// recoveries run concurrently, sharing simulation rounds.
 func (c *Cluster) RecoverSoftLayer(spread, limit, maxRounds int) (int, error) {
+	ps := make([]*Pending, 0, len(c.softIDs))
 	for _, id := range c.softIDs {
 		s := c.Softs[id]
 		opID, envs := s.Recover(spread, limit)
-		c.Net.Emit(s.Self, envs)
-		if _, err := c.stepUntil(s, opID, maxRounds); err != nil {
+		ps = append(ps, c.track(s, OpRecover, "", opID, envs, maxRounds))
+	}
+	c.WaitAll()
+	for _, p := range ps {
+		if err := p.Err(); err != nil {
 			return 0, err
 		}
-		s.ForgetOp(opID)
 	}
 	total := 0
 	for _, s := range c.Softs {

@@ -44,8 +44,18 @@ type Op struct {
 	Acks    int            // Put: storage acknowledgements received
 	Agg     epidemic.AggResp
 	Replies int
-	want    int // replies that complete the op
-	version tuple.Version
+	// Deadline is the round at which the soft node expires the op itself
+	// (0 = never). Expired reports that the deadline, not a reply, ended
+	// the op; partial results (e.g. Scan tuples) are kept.
+	Deadline sim.Round
+	Expired  bool
+	want     int // replies that complete the op
+	version  tuple.Version
+	onDone   func(*Op)
+	// ackedBy dedupes StoreAck senders: WriteAcks counts distinct
+	// replicas, and one replica storing successive pipelined versions
+	// of a key must not count twice.
+	ackedBy map[node.ID]bool
 }
 
 // SoftConfig tunes a soft-state node.
@@ -95,8 +105,10 @@ type SoftNode struct {
 
 	nextOp uint64
 	ops    map[uint64]*Op
-	// byKey matches StoreAcks (which carry only the key) to put ops.
-	putsByKey map[string]uint64
+	// putsByKey matches StoreAcks to put ops: all pending writes per
+	// key, in submission (= version) order, so pipelined writes to one
+	// key each find their acknowledgement.
+	putsByKey map[string][]uint64
 
 	// CacheHits / PersistentReads count the C13 comparison.
 	CacheHits       int64
@@ -118,7 +130,7 @@ func NewSoftNode(self node.ID, rng *rand.Rand, persistent membership.Sampler, cf
 		Cache:      cache.New(cfg.CacheSize),
 		persistent: persistent,
 		ops:        make(map[uint64]*Op),
-		putsByKey:  make(map[string]uint64),
+		putsByKey:  make(map[string][]uint64),
 	}
 }
 
@@ -135,14 +147,86 @@ func (s *SoftNode) Op(id uint64) (*Op, bool) {
 	return op, ok
 }
 
+// complete marks an op done exactly once and fires its completion
+// callback. Every path that finishes an op funnels through here so the
+// async engine sees each completion.
+func (s *SoftNode) complete(op *Op) {
+	if op.Done {
+		return
+	}
+	op.Done = true
+	if op.onDone != nil {
+		op.onDone(op)
+	}
+}
+
+// Arm attaches a deadline and a completion callback to a pending op.
+// From then on the soft node owns the op's lifetime: when a reply
+// completes it — or the deadline passes — fn fires (exactly once).
+// Returns false when the op is unknown or already done.
+func (s *SoftNode) Arm(id uint64, deadline sim.Round, fn func(*Op)) bool {
+	op, ok := s.ops[id]
+	if !ok || op.Done {
+		return false
+	}
+	op.Deadline = deadline
+	op.onDone = fn
+	return true
+}
+
+// PendingOps returns the number of live (not yet completed) ops the
+// node is tracking.
+func (s *SoftNode) PendingOps() int {
+	n := 0
+	for _, op := range s.ops {
+		if !op.Done {
+			n++
+		}
+	}
+	return n
+}
+
+// expire fails every live op whose deadline has passed. Ops are expired
+// in ID order so runs with equal seeds stay byte-identical.
+func (s *SoftNode) expire(now sim.Round) {
+	var due []uint64
+	for id, op := range s.ops {
+		if !op.Done && op.Deadline > 0 && now >= op.Deadline {
+			due = append(due, id)
+		}
+	}
+	if len(due) == 0 {
+		return
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, id := range due {
+		op := s.ops[id]
+		op.Expired = true
+		s.complete(op)
+	}
+}
+
 // ForgetOp releases a completed operation.
 func (s *SoftNode) ForgetOp(id uint64) {
-	if op, ok := s.ops[id]; ok {
-		if op.Kind == OpPut && s.putsByKey[op.Key] == id {
-			delete(s.putsByKey, op.Key)
-		}
-		delete(s.ops, id)
+	op, ok := s.ops[id]
+	if !ok {
+		return
 	}
+	if op.Kind == OpPut || op.Kind == OpDelete {
+		ids := s.putsByKey[op.Key]
+		for i, pid := range ids {
+			if pid == id {
+				ids = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+		if len(ids) == 0 {
+			delete(s.putsByKey, op.Key)
+		} else {
+			s.putsByKey[op.Key] = ids
+		}
+	}
+	delete(s.ops, id)
 }
 
 // Put sequences a write and hands it to the persistent layer for
@@ -156,14 +240,16 @@ func (s *SoftNode) Put(now sim.Round, key string, value []byte, attrs map[string
 	op.version = version
 	t := &tuple.Tuple{Key: key, Value: value, Attrs: attrs, Tags: tags, Version: version, Deleted: deleted}
 	if err := t.Validate(); err != nil {
-		op.Done, op.Err = true, err.Error()
+		op.Err = err.Error()
+		s.complete(op)
 		return op.ID, nil
 	}
 	s.Cache.Put(t)
-	s.putsByKey[key] = op.ID
+	s.putsByKey[key] = append(s.putsByKey[key], op.ID)
 	entry := s.persistent.One()
 	if entry == node.None {
-		op.Done, op.Err = true, "no persistent layer entry point"
+		op.Err = "no persistent layer entry point"
+		s.complete(op)
 		return op.ID, nil
 	}
 	return op.ID, []sim.Envelope{{To: entry, Msg: WriteCmd{Tuple: t.Clone(), ReplyTo: s.Self}}}
@@ -176,12 +262,13 @@ func (s *SoftNode) Get(now sim.Round, key string) (uint64, []sim.Envelope) {
 	latest, known := s.Seq.Latest(key)
 	if known {
 		if t, ok := s.Cache.Get(key, latest); ok {
-			op.Done, op.Tuple = true, t
+			op.Tuple = t
 			if t.Deleted {
 				op.Tuple = nil
 				op.Err = "not found"
 			}
 			s.CacheHits++
+			s.complete(op)
 			return op.ID, nil
 		}
 	}
@@ -207,10 +294,11 @@ func (s *SoftNode) Get(now sim.Round, key string) (uint64, []sim.Envelope) {
 		}
 	}
 	op.want = len(envs)
-	if op.want == 0 {
-		op.Done, op.Err = true, "not found"
-	}
 	op.version = latest
+	if op.want == 0 {
+		op.Err = "not found"
+		s.complete(op)
+	}
 	return op.ID, envs
 }
 
@@ -219,7 +307,8 @@ func (s *SoftNode) Scan(attr string, lo, hi float64, maxHops int) (uint64, []sim
 	op := s.newOp(OpScan, "")
 	entry := s.persistent.One()
 	if entry == node.None {
-		op.Done, op.Err = true, "no persistent layer entry point"
+		op.Err = "no persistent layer entry point"
+		s.complete(op)
 		return op.ID, nil
 	}
 	return op.ID, []sim.Envelope{{To: entry, Msg: epidemic.ScanReq{
@@ -233,7 +322,8 @@ func (s *SoftNode) Aggregate(attr string) (uint64, []sim.Envelope) {
 	op := s.newOp(OpAgg, attr)
 	entry := s.persistent.One()
 	if entry == node.None {
-		op.Done, op.Err = true, "no persistent layer entry point"
+		op.Err = "no persistent layer entry point"
+		s.complete(op)
 		return op.ID, nil
 	}
 	return op.ID, []sim.Envelope{{To: entry, Msg: epidemic.AggReq{Attr: attr, ReqID: op.ID}}}
@@ -247,7 +337,8 @@ func (s *SoftNode) Recover(spread, limit int) (uint64, []sim.Envelope) {
 	op := s.newOp(OpRecover, "")
 	peers := s.persistent.Sample(spread)
 	if len(peers) == 0 {
-		op.Done, op.Err = true, "no persistent layer entry point"
+		op.Err = "no persistent layer entry point"
+		s.complete(op)
 		return op.ID, nil
 	}
 	op.want = len(peers)
@@ -275,49 +366,68 @@ type WriteCmd struct {
 // Start implements sim.Machine.
 func (s *SoftNode) Start(now sim.Round) []sim.Envelope { return nil }
 
-// Tick implements sim.Machine: expire reads whose probes all reported.
-func (s *SoftNode) Tick(now sim.Round) []sim.Envelope { return nil }
+// Tick implements sim.Machine: expire ops whose deadline has passed, so
+// the node can carry hundreds of pending ops without a driver counting
+// rounds on its behalf.
+func (s *SoftNode) Tick(now sim.Round) []sim.Envelope {
+	s.expire(now)
+	return nil
+}
 
 // Handle implements sim.Machine.
 func (s *SoftNode) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
 	switch m := msg.(type) {
 	case epidemic.StoreAck:
 		s.Dir.AddHint(m.Key, from)
-		if opID, ok := s.putsByKey[m.Key]; ok {
-			if op, live := s.ops[opID]; live && !op.Done {
-				op.Acks++
-				if op.Acks >= s.cfg.WriteAcks {
-					op.Done = true
-				}
+		// An ack for version V also acknowledges every older pending
+		// write to the key: the stored newer version durably supersedes
+		// them. Copy the slice — completion callbacks ForgetOp, which
+		// mutates putsByKey.
+		ids := append([]uint64(nil), s.putsByKey[m.Key]...)
+		for _, opID := range ids {
+			op, live := s.ops[opID]
+			if !live || op.Done {
+				continue
+			}
+			if m.Version.Less(op.version) || op.ackedBy[from] {
+				continue
+			}
+			if op.ackedBy == nil {
+				op.ackedBy = make(map[node.ID]bool, s.cfg.WriteAcks)
+			}
+			op.ackedBy[from] = true
+			op.Acks++
+			if op.Acks >= s.cfg.WriteAcks {
+				s.complete(op)
 			}
 		}
 	case epidemic.ReadResp:
 		s.handleReadResp(m, from)
 	case epidemic.ScanResp:
-		if op, ok := s.ops[m.ReqID]; ok {
+		if op, ok := s.ops[m.ReqID]; ok && !op.Done {
 			op.Tuples = append(op.Tuples, m.Tuples...)
 			if m.Done {
-				op.Done = true
 				op.Tuples = dedupeByKey(op.Tuples)
+				s.complete(op)
 			}
 		}
 	case epidemic.AggResp:
-		if op, ok := s.ops[m.ReqID]; ok {
+		if op, ok := s.ops[m.ReqID]; ok && !op.Done {
 			op.Agg = m
-			op.Done = true
 			if !m.Known {
 				op.Err = "attribute not aggregated"
 			}
+			s.complete(op)
 		}
 	case epidemic.RecoverResp:
-		if op, ok := s.ops[m.ReqID]; ok {
+		if op, ok := s.ops[m.ReqID]; ok && !op.Done {
 			for key, v := range m.Versions {
 				s.Seq.Observe(key, v)
 				s.Dir.AddHint(key, from)
 			}
 			op.Replies++
 			if op.Replies >= op.want {
-				op.Done = true
+				s.complete(op)
 			}
 		}
 	}
@@ -368,11 +478,12 @@ func dedupeByKey(ts []*tuple.Tuple) []*tuple.Tuple {
 }
 
 func (s *SoftNode) finishGet(op *Op) {
-	op.Done = true
 	if op.Tuple == nil || op.Tuple.Deleted {
 		op.Tuple = nil
 		op.Err = "not found"
+		s.complete(op)
 		return
 	}
 	s.Cache.Put(op.Tuple)
+	s.complete(op)
 }

@@ -113,8 +113,13 @@ type (
 		Origin node.ID // soft-state node that sequenced the write
 		Entry  node.ID // persistent node that published the rumor
 	}
-	// StoreAck tells the origin that the sender kept the tuple.
-	StoreAck struct{ Key string }
+	// StoreAck tells the origin that the sender kept the tuple. Version
+	// lets the origin match the ack to the right write when several
+	// pipelined writes to one key are in flight.
+	StoreAck struct {
+		Key     string
+		Version tuple.Version
+	}
 	// ReadReq probes for a key; forwarded up to TTL hops on miss.
 	ReadReq struct {
 		Key    string
@@ -443,7 +448,7 @@ func (n *Node) onDeliver(r gossip.Rumor) {
 				n.OnHint(wp.Tuple.Key, n.Self)
 			}
 		} else {
-			n.outbox = append(n.outbox, sim.Envelope{To: wp.Origin, Msg: StoreAck{Key: wp.Tuple.Key}})
+			n.outbox = append(n.outbox, sim.Envelope{To: wp.Origin, Msg: StoreAck{Key: wp.Tuple.Key, Version: wp.Tuple.Version}})
 		}
 	}
 }

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fakeWaiter resolves after a fixed number of rounds.
+type fakeWaiter struct {
+	left int
+	err  error
+}
+
+func (w *fakeWaiter) Done() bool { return w.left <= 0 }
+func (w *fakeWaiter) Err() error { return w.err }
+
+// fakeClient completes every op a fixed latency after submission.
+type fakeClient struct {
+	latency int
+	puts    int
+	gets    int
+	open    []*fakeWaiter
+}
+
+func (c *fakeClient) submit() Waiter {
+	w := &fakeWaiter{left: c.latency}
+	c.open = append(c.open, w)
+	return w
+}
+
+func (c *fakeClient) SubmitPut(key string, value []byte) Waiter {
+	c.puts++
+	return c.submit()
+}
+
+func (c *fakeClient) SubmitGet(key string) Waiter {
+	c.gets++
+	return c.submit()
+}
+
+func (c *fakeClient) Step() {
+	for _, w := range c.open {
+		w.left--
+	}
+}
+
+func TestClosedLoopCompletesAllOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	client := &fakeClient{latency: 3}
+	cl := ClosedLoop{Window: 8, Total: 100, Mix: Mix{ReadFraction: 0.5, Keys: UniformKeys(50, rng)}}
+	res := cl.Run(client, rng)
+	if res.Ops != 100 {
+		t.Fatalf("ops = %d, want 100", res.Ops)
+	}
+	if res.Reads+res.Writes != res.Ops {
+		t.Fatalf("reads %d + writes %d != ops %d", res.Reads, res.Writes, res.Ops)
+	}
+	if client.puts+client.gets != 100 {
+		t.Fatalf("submitted %d, want 100", client.puts+client.gets)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+}
+
+// TestClosedLoopWindowScalesRounds: with fixed per-op latency L and
+// window W, a closed loop needs ≈ total·L/W rounds — the whole point of
+// pipelining.
+func TestClosedLoopWindowScalesRounds(t *testing.T) {
+	const total, latency = 128, 4
+	rounds := func(window int) int {
+		rng := rand.New(rand.NewSource(2))
+		client := &fakeClient{latency: latency}
+		cl := ClosedLoop{Window: window, Total: total, Mix: Mix{ReadFraction: 0.5, Keys: UniformKeys(64, rng)}}
+		return cl.Run(client, rng).Rounds
+	}
+	serial := rounds(1)
+	wide := rounds(16)
+	if serial != total*latency {
+		t.Fatalf("serial rounds = %d, want %d", serial, total*latency)
+	}
+	if wide*8 > serial {
+		t.Fatalf("window=16 rounds = %d vs serial %d — want ≥8× fewer", wide, serial)
+	}
+}
+
+// stuckClient never resolves anything — the loop must bail out at
+// MaxRounds instead of spinning forever.
+type stuckClient struct{}
+
+func (stuckClient) SubmitPut(string, []byte) Waiter { return &fakeWaiter{left: 1 << 30} }
+func (stuckClient) SubmitGet(string) Waiter         { return &fakeWaiter{left: 1 << 30} }
+func (stuckClient) Step()                           {}
+
+func TestClosedLoopBoundedWhenClientStuck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cl := ClosedLoop{Window: 4, Total: 8, MaxRounds: 50,
+		Mix: Mix{ReadFraction: 0.5, Keys: UniformKeys(8, rng)}}
+	res := cl.Run(stuckClient{}, rng)
+	if res.Rounds != 50 {
+		t.Fatalf("rounds = %d, want bail-out at 50", res.Rounds)
+	}
+	if res.Ops != 0 {
+		t.Fatalf("ops = %d with a stuck client", res.Ops)
+	}
+}
+
+func TestClosedLoopDeterministicRequests(t *testing.T) {
+	run := func() (int, int) {
+		rng := rand.New(rand.NewSource(3))
+		client := &fakeClient{latency: 2}
+		cl := ClosedLoop{Window: 4, Total: 64, Mix: Mix{ReadFraction: 0.3, Keys: ZipfKeys(100, 1.07, rng)}}
+		cl.Run(client, rng)
+		return client.puts, client.gets
+	}
+	p1, g1 := run()
+	p2, g2 := run()
+	if p1 != p2 || g1 != g2 {
+		t.Fatalf("same seed, different mixes: %d/%d vs %d/%d", p1, g1, p2, g2)
+	}
+}
