@@ -43,11 +43,20 @@ func main() {
 			fmt.Println(id)
 		}
 		fmt.Println("throughput")
+		fmt.Println("simscale")
 		return
 	}
 
 	if *run == "throughput" {
 		if err := runThroughput(*seed, *scale, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *run == "simscale" {
+		if err := runSimScale(*seed, *scale, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -74,6 +74,10 @@ type Cluster struct {
 	softIDs []node.ID
 	persIDs []node.ID
 
+	// softAlive is the prebuilt liveness predicate for Route — built once
+	// so the per-operation routing lookup allocates nothing.
+	softAlive func(node.ID) bool
+
 	// inflight tracks async handles by op ID; maxDeadline is the latest
 	// deadline among them (WaitAll's termination bound).
 	inflight    map[uint64]*Pending
@@ -117,19 +121,22 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		c.softIDs = append(c.softIDs, id)
 		c.softRing.Add(id)
 	}
+	c.softAlive = c.Net.Alive
 	return c
 }
 
 // Route returns the soft node responsible for key (its ring successor
-// among alive soft nodes).
+// among alive soft nodes). The first-alive successor walk replaces a
+// LookupN materialisation that allocated a candidate slice plus a dedup
+// set on every client operation; skipping the dedup does not change the
+// answer, because duplicate owners en route cannot be the first alive
+// one twice.
 func (c *Cluster) Route(key string) *SoftNode {
-	owners := c.softRing.LookupN(node.HashKey(key), len(c.softIDs))
-	for _, id := range owners {
-		if c.Net.Alive(id) {
-			return c.Softs[id]
-		}
+	id := c.softRing.LookupFirst(node.HashKey(key), c.softAlive)
+	if id == node.None {
+		return nil
 	}
-	return nil
+	return c.Softs[id]
 }
 
 // AnySoft returns some alive soft node (for key-less operations).

@@ -112,6 +112,25 @@ func (r *Ring) Lookup(p node.Point) node.ID {
 // LookupKey routes a tuple key.
 func (r *Ring) LookupKey(key string) node.ID { return r.Lookup(node.HashKey(key)) }
 
+// LookupFirst returns the first successor owner of p accepted by ok,
+// walking the vnode ring in place. It answers the same question as
+// "first acceptable entry of LookupN(p, Size())" without allocating the
+// candidate slice or the dedup set — the client router calls this on
+// every operation. Owners may be tested more than once (one per vnode);
+// ok must therefore be cheap and side-effect free.
+func (r *Ring) LookupFirst(p node.Point, ok func(node.ID) bool) node.ID {
+	if len(r.points) == 0 {
+		return node.None
+	}
+	idx := node.SuccessorIndex(r.points, p)
+	for i := 0; i < len(r.points); i++ {
+		if o := r.owners[(idx+i)%len(r.points)]; ok(o) {
+			return o
+		}
+	}
+	return node.None
+}
+
 // LookupN returns up to n distinct members responsible for p: the owner
 // of the successor vnode and the owners of the following vnodes —
 // Cassandra/Chord successor-list replication.

@@ -238,3 +238,40 @@ func TestDirectoryHints(t *testing.T) {
 		t.Fatal("wipe incomplete")
 	}
 }
+
+// TestLookupFirstMatchesLookupN pins the routing-hot-path equivalence:
+// LookupFirst with a predicate must return exactly what scanning
+// LookupN's full candidate list for the first acceptable member would,
+// for every liveness subset shape the router can encounter.
+func TestLookupFirstMatchesLookupN(t *testing.T) {
+	r := NewRing(16)
+	members := []node.ID{11, 22, 33, 44, 55}
+	for _, id := range members {
+		r.Add(id)
+	}
+	cases := []map[node.ID]bool{
+		{11: true, 22: true, 33: true, 44: true, 55: true}, // all alive
+		{22: true, 55: true}, // some alive
+		{44: true},           // one alive
+		{},                   // none alive
+	}
+	for ci, alive := range cases {
+		for i := 0; i < 500; i++ {
+			p := node.HashKey(fmt.Sprintf("key-%d", i))
+			want := node.None
+			for _, id := range r.LookupN(p, len(members)) {
+				if alive[id] {
+					want = id
+					break
+				}
+			}
+			got := r.LookupFirst(p, func(id node.ID) bool { return alive[id] })
+			if got != want {
+				t.Fatalf("case %d key %d: LookupFirst = %v, LookupN scan = %v", ci, i, got, want)
+			}
+		}
+	}
+	if got := NewRing(4).LookupFirst(node.HashKey("x"), func(node.ID) bool { return true }); got != node.None {
+		t.Fatalf("empty ring LookupFirst = %v, want None", got)
+	}
+}

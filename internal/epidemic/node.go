@@ -260,8 +260,11 @@ func New(self node.ID, rng *rand.Rand, sampler membership.Sampler, cfg Config) *
 			K:        cfg.DistK,
 			EpochLen: cfg.DistEpochLen,
 			Buckets:  cfg.DistBuckets,
+			// Borrowed iteration: emit only reads the key (copied into
+			// the sketch by value) and the attribute, so no clone and no
+			// retention — the epoch reseed pass is allocation-free.
 			Local: func(emit func(string, float64)) {
-				n.St.ForEach(func(t *tuple.Tuple) bool {
+				n.St.ForEachRef(func(t *tuple.Tuple) bool {
 					if t.Deleted {
 						return true
 					}
@@ -313,6 +316,8 @@ func New(self node.ID, rng *rand.Rand, sampler membership.Sampler, cfg Config) *
 		covers := false
 		if n.Repair != nil {
 			covers = n.Repair.Covers(q.Point)
+		} else if pc, ok := arcSieve.(sieve.PointCoverer); ok && arcSieve != nil {
+			covers = pc.CoversPoint(q.Point)
 		} else if arcSieve != nil {
 			for _, a := range arcSieve.Arcs() {
 				if a.Contains(q.Point) {
@@ -360,49 +365,30 @@ func New(self node.ID, rng *rand.Rand, sampler membership.Sampler, cfg Config) *
 }
 
 // localExtremes returns the min/max of attr over locally stored live
-// tuples (per-tuple, unlike the replication-normalised sums).
+// tuples (per-tuple, unlike the replication-normalised sums). Served
+// from the store's incremental statistics: O(1) unless a removal
+// invalidated an extreme since the last call.
 func (n *Node) localExtremes(attr string) (lo, hi float64, ok bool) {
-	n.St.ForEach(func(t *tuple.Tuple) bool {
-		if t.Deleted {
-			return true
+	if attr == "count" {
+		if n.St.Len() == 0 {
+			return 0, 0, false
 		}
-		v := 1.0
-		if attr != "count" {
-			var has bool
-			if v, has = t.Attr(attr); !has {
-				return true
-			}
-		}
-		if !ok || v < lo {
-			lo = v
-		}
-		if !ok || v > hi {
-			hi = v
-		}
-		ok = true
-		return true
-	})
-	return lo, hi, ok
+		return 1, 1, true // every live tuple contributes value 1
+	}
+	return n.St.AttrExtremes(attr)
 }
 
 // localAggValue sums the attribute over locally stored live tuples,
 // normalised by the replication factor so that the global push-sum total
 // approximates the deduplicated sum (each tuple exists ≈ r times).
+// Served from the store's incremental statistics in O(1) — this is
+// polled at every aggregation epoch on every node, and the full cloning
+// walk it replaced was the dominating per-epoch cost at paper scale.
 func (n *Node) localAggValue(attr string) float64 {
-	var s float64
-	n.St.ForEach(func(t *tuple.Tuple) bool {
-		if t.Deleted {
-			return true
-		}
-		if attr == "count" {
-			s++
-			return true
-		}
-		if v, ok := t.Attr(attr); ok {
-			s += v
-		}
-		return true
-	})
+	if attr == "count" {
+		return float64(n.St.Len()) / float64(n.cfg.Replication)
+	}
+	s, _ := n.St.AttrSum(attr)
 	return s / float64(n.cfg.Replication)
 }
 
@@ -434,7 +420,9 @@ func (n *Node) onDeliver(r gossip.Rumor) {
 	if !keep {
 		// Not responsible — but never hold known-stale data: if an older
 		// copy is present (e.g. retained as a publisher), supersede it.
-		if cur, ok := n.St.GetAny(wp.Tuple.Key); ok && cur.Version.Less(wp.Tuple.Version) {
+		// Version (not GetAny) keeps this common path clone-free: stored
+		// versions are never zero, so a zero means "absent".
+		if cur := n.St.Version(wp.Tuple.Key); !cur.IsZero() && cur.Less(wp.Tuple.Version) {
 			n.St.Apply(wp.Tuple)
 		}
 		return
@@ -540,12 +528,15 @@ func (n *Node) handleScan(req ScanReq, local bool) []sim.Envelope {
 	}
 	req.Seeking = false
 	var matches []*tuple.Tuple
-	n.St.ForEach(func(t *tuple.Tuple) bool {
+	// Borrowed walk, cloning only the hits: matches are retained (scan
+	// state, response messages), so they must be copies, but the misses —
+	// the overwhelming majority — no longer pay for a deep clone each.
+	n.St.ForEachRef(func(t *tuple.Tuple) bool {
 		if t.Deleted {
 			return true
 		}
 		if v, ok := t.Attr(req.Attr); ok && v >= req.Lo && v <= req.Hi {
-			matches = append(matches, t)
+			matches = append(matches, t.Clone())
 		}
 		return true
 	})
@@ -694,7 +685,8 @@ func (n *Node) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
 		out = []sim.Envelope{{To: from, Msg: resp}}
 	case RecoverReq:
 		versions := make(map[string]tuple.Version)
-		n.St.ForEach(func(t *tuple.Tuple) bool {
+		// Borrowed walk: only the key and version values are copied out.
+		n.St.ForEachRef(func(t *tuple.Tuple) bool {
 			if m.Limit > 0 && len(versions) >= m.Limit {
 				return false
 			}

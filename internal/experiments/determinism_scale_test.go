@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+// TestDeterminismAtScale runs a 2000-node cluster with churn twice under
+// the same seed and asserts the runs agree on every observable: fabric
+// Stats, each node's full-ring store digest, and each node's Stored
+// counter. This is the scale regime the scheduler ring, O(k) sampler and
+// seen-table optimisations target — small-population tests would not
+// notice, e.g., a ring-slot collision that only occurs once queues carry
+// tens of thousands of messages.
+func TestDeterminismAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2k-node double run takes several seconds")
+	}
+	cfg := SimScaleConfig{
+		Nodes:             2000,
+		Rounds:            40,
+		Warmup:            0,
+		Seed:              1234,
+		WritesPerRound:    16,
+		TransientPerRound: 0.002,
+		PermanentPerRound: 0.0002,
+		MeanDowntime:      10,
+		AggregateAttr:     "v",
+	}
+	a := RunSimScale(cfg)
+	b := RunSimScale(cfg)
+
+	if a.Sent != b.Sent || a.Delivered != b.Delivered ||
+		a.LostLink != b.LostLink || a.LostDead != b.LostDead {
+		t.Fatalf("sim.Stats diverged:\n a: sent=%d delivered=%d lostLink=%d lostDead=%d\n b: sent=%d delivered=%d lostLink=%d lostDead=%d",
+			a.Sent, a.Delivered, a.LostLink, a.LostDead,
+			b.Sent, b.Delivered, b.LostLink, b.LostDead)
+	}
+	if a.AliveEnd != b.AliveEnd {
+		t.Fatalf("alive count diverged: %d vs %d", a.AliveEnd, b.AliveEnd)
+	}
+	if len(a.NodeDigests) != len(b.NodeDigests) {
+		t.Fatalf("population diverged: %d vs %d nodes", len(a.NodeDigests), len(b.NodeDigests))
+	}
+	for i := range a.NodeDigests {
+		if a.NodeDigests[i] != b.NodeDigests[i] {
+			t.Errorf("node %d: store digest diverged: %016x vs %016x", i+1, a.NodeDigests[i], b.NodeDigests[i])
+		}
+		if a.NodeStored[i] != b.NodeStored[i] {
+			t.Errorf("node %d: Stored counter diverged: %d vs %d", i+1, a.NodeStored[i], b.NodeStored[i])
+		}
+		if t.Failed() && i > 20 {
+			t.Fatal("stopping after first divergent nodes")
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"datadroplets/internal/epidemic"
+	"datadroplets/internal/membership"
+	"datadroplets/internal/node"
+	"datadroplets/internal/repair"
+	"datadroplets/internal/sim"
+	"datadroplets/internal/tuple"
+)
+
+// SimScaleConfig drives the paper-scale fabric benchmark: a persistent
+// epidemic cluster pushed through a sustained write + churn + repair
+// workload. It doubles as the fixture of the determinism golden test, so
+// every knob must feed only seeded randomness.
+type SimScaleConfig struct {
+	// Nodes is the persistent-layer population (the paper states its
+	// claims for 10^4–10^5).
+	Nodes int
+	// Rounds is how many gossip rounds to run after warmup.
+	Rounds int
+	// Warmup rounds let size estimation settle before measurement.
+	Warmup int
+	// Seed feeds the fabric, every node machine, the churner and the
+	// workload generator.
+	Seed int64
+	// WritesPerRound is the sustained write load.
+	WritesPerRound int
+	// Keys bounds the key space (keys are reused round-robin so LWW
+	// versioning and re-dissemination are exercised). Zero means
+	// 4*WritesPerRound*... — see normalize.
+	Keys int
+	// TransientPerRound / PermanentPerRound / MeanDowntime parameterise
+	// churn (per alive node per round).
+	TransientPerRound float64
+	PermanentPerRound float64
+	MeanDowntime      float64
+	// Replication is the target copy count r. Zero means 3.
+	Replication int
+	// AggregateAttr, when non-empty, enables continuous push-sum
+	// aggregation and KMV distribution estimation over that attribute —
+	// the per-epoch local store passes this PR makes clone-free.
+	AggregateAttr string
+}
+
+func (c SimScaleConfig) normalized() SimScaleConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 2000
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 200
+	}
+	if c.WritesPerRound < 0 {
+		c.WritesPerRound = 0
+	}
+	if c.Keys <= 0 {
+		c.Keys = 4 * c.Nodes
+	}
+	if c.Replication <= 0 {
+		c.Replication = 3
+	}
+	if c.MeanDowntime <= 0 {
+		c.MeanDowntime = 10
+	}
+	return c
+}
+
+// SimScaleResult reports one simscale run. The digest fields capture the
+// complete observable behaviour of the run (fabric accounting plus every
+// node's store content), which is what the determinism contract promises
+// to preserve byte-for-byte across same-seed runs and across scheduler /
+// storage refactors.
+type SimScaleResult struct {
+	Nodes  int `json:"nodes"`
+	Rounds int `json:"rounds"`
+
+	Elapsed        time.Duration `json:"-"`
+	ElapsedSeconds float64       `json:"elapsed_seconds"`
+	RoundsPerSec   float64       `json:"rounds_per_sec"`
+	SecondsPerRnd  float64       `json:"seconds_per_round"`
+	AllocsPerRound float64       `json:"allocs_per_round"`
+	BytesPerRound  float64       `json:"bytes_per_round"`
+
+	Sent      int64 `json:"sent"`
+	Delivered int64 `json:"delivered"`
+	LostLink  int64 `json:"lost_link"`
+	LostDead  int64 `json:"lost_dead"`
+
+	StoreDigest uint64 `json:"store_digest"`
+	StoredTotal int64  `json:"stored_total"`
+	TuplesTotal int    `json:"tuples_total"`
+	AliveEnd    int    `json:"alive_end"`
+
+	// Per-node end state (ID order), for granular determinism checks.
+	NodeDigests []uint64 `json:"-"`
+	NodeStored  []int64  `json:"-"`
+}
+
+// Digest folds the run's observable behaviour into one 64-bit value for
+// golden-test comparison.
+func (r *SimScaleResult) Digest() uint64 {
+	mix := func(h, v uint64) uint64 {
+		h ^= v
+		h *= 0x9e3779b97f4a7c15
+		h ^= h >> 29
+		return h
+	}
+	h := uint64(0x8000000000000001)
+	h = mix(h, uint64(r.Sent))
+	h = mix(h, uint64(r.Delivered))
+	h = mix(h, uint64(r.LostLink))
+	h = mix(h, uint64(r.LostDead))
+	h = mix(h, r.StoreDigest)
+	h = mix(h, uint64(r.StoredTotal))
+	h = mix(h, uint64(r.TuplesTotal))
+	h = mix(h, uint64(r.AliveEnd))
+	return h
+}
+
+// String renders the headline numbers.
+func (r *SimScaleResult) String() string {
+	return fmt.Sprintf("simscale N=%d rounds=%d %.2fs (%.1f rounds/sec, %.0f allocs/round) sent=%d delivered=%d digest=%016x",
+		r.Nodes, r.Rounds, r.ElapsedSeconds, r.RoundsPerSec, r.AllocsPerRound, r.Sent, r.Delivered, r.Digest())
+}
+
+// RunSimScale builds the cluster, applies warmup, then measures Rounds
+// rounds of writes + churn + repair. All state flows from cfg.Seed: two
+// calls with equal configs must produce identical results (the
+// determinism tests rely on it).
+func RunSimScale(cfg SimScaleConfig) *SimScaleResult {
+	cfg = cfg.normalized()
+
+	nodes := make([]*epidemic.Node, 0, cfg.Nodes)
+	ids := make([]node.ID, 0, cfg.Nodes)
+	pop := func() []node.ID { return ids }
+
+	// Repair stays on (deficit checks, orphan sweeps, range sync) but at
+	// a lighter cadence than the protocol defaults: the defaults target
+	// small-population experiments, and at 10^4 nodes 32 walks every 10
+	// rounds per node is pure walk traffic drowning the workload signal.
+	ecfg := epidemic.Config{
+		Replication: cfg.Replication,
+		FanoutC:     1,
+		Repair: repair.Config{
+			Walks:       8,
+			CheckEvery:  20,
+			OrphanBatch: 2,
+		},
+	}
+	if cfg.AggregateAttr != "" {
+		ecfg.AggregateAttrs = []string{cfg.AggregateAttr}
+		ecfg.EstimateAttr = cfg.AggregateAttr
+	}
+
+	net := sim.New(sim.Config{Seed: cfg.Seed})
+	build := func(id node.ID, rng *rand.Rand) sim.Machine {
+		en := epidemic.New(id, rng, membership.NewUniformView(id, rng, pop), ecfg)
+		nodes = append(nodes, en)
+		return en
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		ids = append(ids, net.Spawn(build))
+	}
+
+	churner := sim.NewChurner(net, sim.ChurnConfig{
+		TransientPerRound: cfg.TransientPerRound,
+		PermanentPerRound: cfg.PermanentPerRound,
+		MeanDowntime:      cfg.MeanDowntime,
+	}, cfg.Seed^0x5ca1ab1e)
+
+	wrng := rand.New(rand.NewSource(cfg.Seed ^ 0x77aa77aa))
+	versions := make([]uint64, cfg.Keys)
+	value := make([]byte, 64)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	writeOne := func() {
+		alive := net.AliveIDs()
+		if len(alive) == 0 {
+			return
+		}
+		origin := alive[wrng.Intn(len(alive))]
+		ki := wrng.Intn(cfg.Keys)
+		versions[ki]++
+		t := &tuple.Tuple{
+			Key:     fmt.Sprintf("key-%06d", ki),
+			Value:   value,
+			Attrs:   map[string]float64{"v": float64(wrng.Intn(1000))},
+			Version: tuple.Version{Seq: versions[ki], Writer: origin},
+		}
+		en := nodes[origin-1]
+		net.Emit(origin, en.Write(net.Round(), t))
+	}
+
+	step := func() {
+		for i := 0; i < cfg.WritesPerRound; i++ {
+			writeOne()
+		}
+		churner.Step()
+		net.Step()
+	}
+
+	for i := 0; i < cfg.Warmup; i++ {
+		step()
+	}
+
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	for i := 0; i < cfg.Rounds; i++ {
+		step()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+
+	res := &SimScaleResult{
+		Nodes:          cfg.Nodes,
+		Rounds:         cfg.Rounds,
+		Elapsed:        elapsed,
+		ElapsedSeconds: elapsed.Seconds(),
+		RoundsPerSec:   float64(cfg.Rounds) / elapsed.Seconds(),
+		SecondsPerRnd:  elapsed.Seconds() / float64(cfg.Rounds),
+		AllocsPerRound: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(cfg.Rounds),
+		BytesPerRound:  float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(cfg.Rounds),
+		Sent:           net.Stats.Sent.Value(),
+		Delivered:      net.Stats.Delivered.Value(),
+		LostLink:       net.Stats.LostLink.Value(),
+		LostDead:       net.Stats.LostDead.Value(),
+		AliveEnd:       net.Size(),
+	}
+	full := node.FullArc()
+	res.NodeDigests = make([]uint64, len(nodes))
+	res.NodeStored = make([]int64, len(nodes))
+	for i, en := range nodes {
+		d := en.St.DigestArc(full)
+		res.NodeDigests[i] = d
+		res.NodeStored[i] = en.Stored
+		// Fold node position in so per-node digests cannot cancel by
+		// permutation.
+		res.StoreDigest ^= d * (uint64(i)*2 + 1)
+		res.StoredTotal += en.Stored
+		res.TuplesTotal += en.St.Total()
+	}
+	return res
+}

@@ -1,0 +1,20 @@
+package experiments
+
+import "testing"
+
+// BenchmarkSimScale measures the fabric at a small population — the CI
+// smoke companion of `ddbench -run simscale` (which sweeps 2k–10k).
+func BenchmarkSimScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RunSimScale(SimScaleConfig{
+			Nodes:             400,
+			Rounds:            80,
+			Warmup:            10,
+			Seed:              42,
+			WritesPerRound:    16,
+			TransientPerRound: 0.002,
+			PermanentPerRound: 0.0002,
+			AggregateAttr:     "v",
+		})
+	}
+}

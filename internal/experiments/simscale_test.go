@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// goldenSimScaleDigest pins the complete observable behaviour (fabric
+// Stats, every node's store digest, Stored counters) of a fixed-seed
+// write+churn+repair run. The value was captured on the implementation
+// preceding the paper-scale fabric optimisation (map-keyed round queue,
+// O(N) peer sampling, cloning store walks); the optimised scheduler,
+// sampler and storage engine must reproduce it byte-for-byte — that is
+// the determinism contract the refactor is not allowed to bend.
+const goldenSimScaleDigest = 0xa9f0d6cc126ee97c
+
+var goldenConfig = SimScaleConfig{
+	Nodes:             192,
+	Rounds:            100,
+	Warmup:            0,
+	Seed:              42,
+	WritesPerRound:    8,
+	Keys:              512,
+	TransientPerRound: 0.004,
+	PermanentPerRound: 0.0005,
+	MeanDowntime:      8,
+	AggregateAttr:     "v",
+}
+
+// TestSimScaleGoldenDigest proves byte-identical behaviour across the
+// scheduler/store refactor for a fixed seed.
+func TestSimScaleGoldenDigest(t *testing.T) {
+	res := RunSimScale(goldenConfig)
+	if got := res.Digest(); got != goldenSimScaleDigest {
+		t.Fatalf("behaviour digest drifted: got %#016x want %#016x\n"+
+			"full result: %+v\n"+
+			"a mismatch means the refactor changed observable behaviour (message\n"+
+			"order, RNG consumption, or store content) for the same seed",
+			got, uint64(goldenSimScaleDigest), res)
+	}
+}
+
+// TestSimScaleSameSeedTwice is the self-consistency half of the golden
+// test: two runs in one process must agree exactly (guards against
+// map-iteration or shared-state leaks in the harness itself).
+func TestSimScaleSameSeedTwice(t *testing.T) {
+	cfg := goldenConfig
+	cfg.Nodes = 96
+	cfg.Rounds = 60
+	a := RunSimScale(cfg)
+	b := RunSimScale(cfg)
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same-seed runs diverged:\n a=%+v\n b=%+v", a, b)
+	}
+}

@@ -84,8 +84,32 @@ type Disseminator struct {
 	sampler membership.Sampler
 	cfg     Config
 
-	seen  map[uint64]sim.Round // rumor ID -> round first seen
-	cache map[uint64]Rumor     // retained payloads for anti-entropy
+	// seen holds per-rumor receipt metadata. It is a specialised
+	// open-addressed table rather than a built-in map: the duplicate
+	// check on every receipt makes this the hottest lookup in the
+	// fabric, and the flat pointer-free layout is invisible to the
+	// garbage collector's scan phase.
+	seen *seenTable
+	// cache retains rumor payloads for anti-entropy replies. It is nil
+	// while anti-entropy is disabled — retaining every payload for the
+	// whole retention window would otherwise dominate the live heap at
+	// paper-scale populations.
+	cache map[uint64]Rumor
+
+	// expiry buckets rumor IDs by the round they were first seen so
+	// pruning drains exactly one bucket per tick instead of walking the
+	// whole seen map every round. Slot r%len(expiry) holds the IDs seen
+	// in round r; with Retention+2 slots a bucket is drained strictly
+	// before the slot is reused.
+	expiry [][]uint64
+
+	// peerBuf is the reused relay-target buffer (consumed within relay).
+	peerBuf []node.ID
+
+	// prunedTo is the highest seen-round whose expiry bucket has been
+	// drained; prune catches up from here, so rounds skipped while the
+	// node was down are still swept on the first post-revival tick.
+	prunedTo sim.Round
 
 	nextSeq uint64
 
@@ -102,14 +126,26 @@ func New(self node.ID, rng *rand.Rand, sampler membership.Sampler, cfg Config) *
 	if cfg.Retention <= 0 {
 		cfg.Retention = 100
 	}
-	return &Disseminator{
-		self:    self,
-		rng:     rng,
-		sampler: sampler,
-		cfg:     cfg,
-		seen:    make(map[uint64]sim.Round),
-		cache:   make(map[uint64]Rumor),
+	d := &Disseminator{
+		self:     self,
+		rng:      rng,
+		sampler:  sampler,
+		cfg:      cfg,
+		seen:     newSeenTable(),
+		expiry:   make([][]uint64, cfg.Retention+2),
+		prunedTo: -1, // round 0's bucket has not been drained yet
 	}
+	if cfg.AntiEntropyEvery > 0 {
+		d.cache = make(map[uint64]Rumor)
+	}
+	return d
+}
+
+// seenMeta is the per-rumor receipt record: the round (retention window)
+// and the hop count (effort experiments). No pointers — see seen.
+type seenMeta struct {
+	at   sim.Round
+	hops int32
 }
 
 // NewRumorID allocates a globally unique rumor ID from the node ID and a
@@ -143,10 +179,10 @@ func (d *Disseminator) Tick(now sim.Round) []sim.Envelope {
 	if peer == node.None {
 		return nil
 	}
-	ids := make([]uint64, 0, len(d.seen))
-	for id := range d.seen {
+	ids := make([]uint64, 0, d.seen.len())
+	d.seen.each(func(id uint64, _ seenMeta) {
 		ids = append(ids, id)
-	}
+	})
 	// Sorted so the wire content is deterministic for a given state.
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return []sim.Envelope{{To: peer, Msg: DigestReq{IDs: ids}}}
@@ -187,7 +223,7 @@ func (d *Disseminator) Handle(now sim.Round, from node.ID, msg any) []sim.Envelo
 // receive processes one rumor: first receipt delivers and relays
 // (infect-and-die), duplicates are suppressed.
 func (d *Disseminator) receive(now sim.Round, r Rumor) []sim.Envelope {
-	if _, ok := d.seen[r.ID]; ok {
+	if _, ok := d.seen.get(r.ID); ok {
 		d.Dupes++
 		return nil
 	}
@@ -208,10 +244,20 @@ func (d *Disseminator) relay(r Rumor) []sim.Envelope {
 	if k <= 0 {
 		return nil
 	}
-	peers := d.sampler.Sample(k)
+	var peers []node.ID
+	if bs, ok := d.sampler.(membership.BufferedSampler); ok {
+		d.peerBuf = bs.SampleInto(k, d.peerBuf[:0])
+		peers = d.peerBuf
+	} else {
+		peers = d.sampler.Sample(k)
+	}
+	// Box the message once: the k envelopes share one immutable RumorMsg
+	// (handlers receive it by value), so relaying costs one interface
+	// allocation instead of one per peer.
+	msg := any(RumorMsg{Rumor: r})
 	out := make([]sim.Envelope, 0, len(peers))
 	for _, p := range peers {
-		out = append(out, sim.Envelope{To: p, Msg: RumorMsg{Rumor: r}})
+		out = append(out, sim.Envelope{To: p, Msg: msg})
 	}
 	d.Relayed += int64(len(out))
 	return out
@@ -225,36 +271,73 @@ func (d *Disseminator) deliver(r Rumor) {
 }
 
 func (d *Disseminator) markSeen(now sim.Round, r Rumor) {
-	d.seen[r.ID] = now
-	d.cache[r.ID] = r
+	d.seen.put(r.ID, seenMeta{at: now, hops: int32(r.Hops)})
+	if d.cache != nil {
+		d.cache[r.ID] = r
+	}
+	slot := int(uint64(now) % uint64(len(d.expiry)))
+	d.expiry[slot] = append(d.expiry[slot], r.ID)
 }
 
 // prune drops seen-markers and cached payloads older than the retention
-// window, bounding memory under sustained load.
+// window, bounding memory under sustained load. In the steady state it
+// drains exactly the one bucket whose round just crossed the window, so
+// the per-tick cost is proportional to the rumors expiring now, not to
+// everything retained; after a downtime gap it catches up over every
+// bucket that fell due while the node was dead, matching the deletions
+// the old full-map sweep performed on the first post-revival tick.
 func (d *Disseminator) prune(now sim.Round) {
-	cutoff := now - sim.Round(d.cfg.Retention)
-	if cutoff <= 0 {
+	expired := now - sim.Round(d.cfg.Retention) - 1
+	if expired < 0 || expired <= d.prunedTo {
 		return
 	}
-	for id, at := range d.seen {
-		if at < cutoff {
-			delete(d.seen, id)
+	from := d.prunedTo + 1
+	d.prunedTo = expired
+	if int(expired-from)+1 >= len(d.expiry) {
+		// Gap of a full ring cycle or more: every bucket is overdue.
+		for slot := range d.expiry {
+			d.drainExpiry(slot, expired)
+		}
+		return
+	}
+	for r := from; r <= expired; r++ {
+		d.drainExpiry(int(uint64(r)%uint64(len(d.expiry))), expired)
+	}
+}
+
+// drainExpiry deletes a bucket's rumors whose seen round is at or before
+// expired. The guard matters during post-downtime catch-up: deliveries
+// run before the tick's prune, so a rumor received this round can share
+// a slot with a bucket whose drain round passed while the node slept —
+// it must survive until its own expiry, exactly as the full-map sweep's
+// per-entry cutoff comparison kept it.
+func (d *Disseminator) drainExpiry(slot int, expired sim.Round) {
+	bucket := d.expiry[slot]
+	kept := bucket[:0]
+	for _, id := range bucket {
+		if m, ok := d.seen.get(id); ok && m.at > expired {
+			kept = append(kept, id)
+			continue
+		}
+		d.seen.del(id)
+		if d.cache != nil {
 			delete(d.cache, id)
 		}
 	}
+	d.expiry[slot] = kept
 }
 
 // Seen reports whether the rumor ID has been received (within retention).
 func (d *Disseminator) Seen(id uint64) bool {
-	_, ok := d.seen[id]
+	_, ok := d.seen.get(id)
 	return ok
 }
 
 // HopsOf returns the hop count recorded for a rumor, or -1 if unseen.
 func (d *Disseminator) HopsOf(id uint64) int {
-	r, ok := d.cache[id]
+	m, ok := d.seen.get(id)
 	if !ok {
 		return -1
 	}
-	return r.Hops
+	return int(m.hops)
 }

@@ -237,3 +237,21 @@ func TestAtomicInfectionProbabilityMatchesTheory(t *testing.T) {
 		t.Fatalf("P(atomic) = %v over %d trials, analytic %v", p, trials, want)
 	}
 }
+
+// TestRetentionPrunesAcrossDowntime pins the catch-up half of the
+// bucketed prune: a node that sleeps through its rumors' expiry rounds
+// must still forget them on the first post-revival tick, like the old
+// full-map sweep did.
+func TestRetentionPrunesAcrossDowntime(t *testing.T) {
+	cfg := Config{Fanout: FixedFanout(0), Retention: 5}
+	c := newCluster(2, 19, cfg)
+	d := c.machines[1]
+	id, _ := d.Publish(c.net.Round(), "x")
+	c.net.Kill(1, false)
+	c.net.Run(40) // expiry round passes (several ring cycles) while dead
+	c.net.Revive(1)
+	c.net.Run(1) // first post-revival tick prunes the backlog
+	if d.Seen(id) {
+		t.Fatal("rumor survived its retention window across downtime")
+	}
+}

@@ -126,11 +126,11 @@ func (e *Estimator) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope 
 			return nil // stale or future epoch; ignore
 		}
 		reply := SketchReply{Epoch: e.epoch, K: e.sketch.K(), Entries: e.sketch.Entries()}
-		e.sketch.Merge(FromEntries(m.K, m.Entries))
+		e.sketch.MergeEntries(m.Entries)
 		return []sim.Envelope{{To: from, Msg: reply}}
 	case SketchReply:
 		if m.Epoch == e.epoch {
-			e.sketch.Merge(FromEntries(m.K, m.Entries))
+			e.sketch.MergeEntries(m.Entries)
 		}
 	}
 	return nil

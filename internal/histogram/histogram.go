@@ -145,6 +145,7 @@ type KMVEntry struct {
 type KMV struct {
 	k       int
 	entries []KMVEntry // sorted ascending by Hash, no duplicate hashes
+	scratch []KMVEntry // recycled backing array for MergeEntries
 }
 
 // NewKMV creates a sketch retaining k minima. k trades accuracy
@@ -213,9 +214,54 @@ func (s *KMV) Merge(o *KMV) {
 	if o == nil {
 		return
 	}
-	for _, e := range o.entries {
-		s.AddHashed(e.Hash, e.Value)
+	s.MergeEntries(o.entries)
+}
+
+// MergeEntries folds wire entries directly into the sketch, sparing the
+// intermediate sketch rebuild the exchange path used to pay per message.
+// When the input is strictly sorted ascending by hash (the Entries wire
+// format) a single linear merge replaces per-entry binary search +
+// insertion; otherwise the whole input goes through AddHashed. Either
+// path yields the same set-union-of-minima.
+func (s *KMV) MergeEntries(entries []KMVEntry) {
+	if len(entries) == 0 {
+		return
 	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Hash <= entries[i-1].Hash {
+			for _, e := range entries {
+				s.AddHashed(e.Hash, e.Value)
+			}
+			return
+		}
+	}
+	// Both sides sorted: linear merge keeping the k smallest distinct
+	// hashes. Once merged is full every remaining candidate on either
+	// side has a larger hash, so dropping the rests is exact.
+	merged := s.scratch[:0]
+	i, j := 0, 0
+	for len(merged) < s.k && (i < len(s.entries) || j < len(entries)) {
+		switch {
+		case i >= len(s.entries):
+			merged = append(merged, entries[j])
+			j++
+		case j >= len(entries):
+			merged = append(merged, s.entries[i])
+			i++
+		case s.entries[i].Hash < entries[j].Hash:
+			merged = append(merged, s.entries[i])
+			i++
+		case s.entries[i].Hash > entries[j].Hash:
+			merged = append(merged, entries[j])
+			j++
+		default: // equal hash: keep ours (AddHashed ignores duplicates)
+			merged = append(merged, s.entries[i])
+			i++
+			j++
+		}
+	}
+	s.scratch = s.entries[:0] // recycle the old backing array
+	s.entries = merged
 }
 
 // Entries returns a copy of the retained minima.

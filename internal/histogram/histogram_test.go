@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -326,4 +327,46 @@ func TestEstimatorSurvivesChurn(t *testing.T) {
 		return
 	}
 	t.Fatal("no alive node with histogram found")
+}
+
+// TestKMVMergeEntriesMatchesAddHashed pins MergeEntries (both the
+// linear-merge fast path for sorted input and the AddHashed fallback
+// for unsorted input) against the ground-truth per-entry insertion,
+// including the overflow case where retained own minima must survive.
+func TestKMVMergeEntriesMatchesAddHashed(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + rng.Intn(8)
+		base := make([]KMVEntry, rng.Intn(2*k))
+		for i := range base {
+			base[i] = KMVEntry{Hash: uint64(rng.Intn(1000) + 1), Value: float64(i)}
+		}
+		in := make([]KMVEntry, rng.Intn(2*k))
+		for i := range in {
+			in[i] = KMVEntry{Hash: uint64(rng.Intn(1000) + 1), Value: float64(100 + i)}
+		}
+		if trial%2 == 0 {
+			// Exercise the sorted fast path half the time.
+			sort.Slice(in, func(i, j int) bool { return in[i].Hash < in[j].Hash })
+		}
+		a := NewKMV(k)
+		b := NewKMV(k)
+		for _, e := range base {
+			a.AddHashed(e.Hash, e.Value)
+			b.AddHashed(e.Hash, e.Value)
+		}
+		a.MergeEntries(in)
+		for _, e := range in {
+			b.AddHashed(e.Hash, e.Value)
+		}
+		ae, be := a.Entries(), b.Entries()
+		if len(ae) != len(be) {
+			t.Fatalf("trial %d: lengths %d vs %d", trial, len(ae), len(be))
+		}
+		for i := range ae {
+			if ae[i] != be[i] {
+				t.Fatalf("trial %d entry %d: %v vs %v", trial, i, ae[i], be[i])
+			}
+		}
+	}
 }

@@ -31,6 +31,14 @@ type Sampler interface {
 	One() node.ID
 }
 
+// BufferedSampler is an optional Sampler extension for hot paths: the
+// draw appends into a caller-owned buffer instead of allocating. The
+// peer sequence and randomness consumption are identical to Sample.
+type BufferedSampler interface {
+	// SampleInto appends up to k distinct peers to buf and returns it.
+	SampleInto(k int, buf []node.ID) []node.ID
+}
+
 // UniformView is a Sampler over an externally maintained population list.
 // The provider is queried on every sample so churn experiments can hand it
 // the simulator's population (stale entries included — messages to dead
@@ -39,6 +47,18 @@ type UniformView struct {
 	self     node.ID
 	rng      *rand.Rand
 	provider func() []node.ID
+
+	// scratch records virtual Fisher-Yates displacements so a sample
+	// costs O(k) regardless of population size (see sampleInto).
+	scratch []displaced
+	oneBuf  [1]node.ID
+}
+
+// displaced is one virtually swapped pool entry: the population value at
+// pos is overridden by val for the remainder of the current draw.
+type displaced struct {
+	pos int
+	val node.ID
 }
 
 var _ Sampler = (*UniformView)(nil)
@@ -54,25 +74,75 @@ func (u *UniformView) Sample(k int) []node.ID {
 	if k <= 0 || len(all) == 0 {
 		return nil
 	}
-	// Partial Fisher-Yates over a copy: O(k) swaps.
-	pool := make([]node.ID, len(all))
-	copy(pool, all)
-	out := make([]node.ID, 0, k)
-	n := len(pool)
+	return u.sampleInto(all, k, make([]node.ID, 0, k))
+}
+
+// SampleInto implements BufferedSampler.
+func (u *UniformView) SampleInto(k int, buf []node.ID) []node.ID {
+	all := u.provider()
+	if k <= 0 || len(all) == 0 {
+		return buf
+	}
+	return u.sampleInto(all, k, buf)
+}
+
+// sampleInto performs a partial Fisher-Yates shuffle over the population
+// WITHOUT copying it: the handful of displaced entries are tracked in
+// u.scratch (at most k+1 of them — one per loop iteration), and every
+// position read consults the displacement list first. The sequence of
+// rng draws and the returned peers are bit-identical to shuffling a full
+// copy, which the simulator's determinism contract depends on, but the
+// cost drops from O(N) per draw to O(k²) with k ≤ fanout — the
+// difference between 32-node benchmarks and the paper's 10⁴–10⁵ regime.
+func (u *UniformView) sampleInto(all []node.ID, k int, out []node.ID) []node.ID {
+	u.scratch = u.scratch[:0]
+	n := len(all)
 	for i := 0; i < n && len(out) < k; i++ {
 		j := i + u.rng.Intn(n-i)
-		pool[i], pool[j] = pool[j], pool[i]
-		if pool[i] == u.self {
+		// vi = pool[j] under the displacements accumulated so far.
+		vi := all[j]
+		for _, d := range u.scratch {
+			if d.pos == j {
+				vi = d.val
+				break
+			}
+		}
+		// pool[j] = pool[i] (position i is never read again: future
+		// iterations only touch positions > i).
+		vj := all[i]
+		for _, d := range u.scratch {
+			if d.pos == i {
+				vj = d.val
+				break
+			}
+		}
+		found := false
+		for idx := range u.scratch {
+			if u.scratch[idx].pos == j {
+				u.scratch[idx].val = vj
+				found = true
+				break
+			}
+		}
+		if !found {
+			u.scratch = append(u.scratch, displaced{pos: j, val: vj})
+		}
+		if vi == u.self {
 			continue
 		}
-		out = append(out, pool[i])
+		out = append(out, vi)
 	}
 	return out
 }
 
-// One returns a single uniform peer.
+// One returns a single uniform peer. The draw reuses a fixed buffer, so
+// the scheduler's hottest sampling call allocates nothing.
 func (u *UniformView) One() node.ID {
-	s := u.Sample(1)
+	all := u.provider()
+	if len(all) == 0 {
+		return node.None
+	}
+	s := u.sampleInto(all, 1, u.oneBuf[:0])
 	if len(s) == 0 {
 		return node.None
 	}

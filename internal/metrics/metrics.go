@@ -11,32 +11,26 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing counter, safe for concurrent use
 // (the live transport increments from multiple goroutines; the simulator
-// uses it single-threaded).
+// uses it single-threaded). Atomic rather than mutex-guarded: the
+// simulator increments it per fabric message, which makes it one of the
+// hottest instructions at paper-scale populations.
 type Counter struct {
-	mu sync.Mutex
-	n  int64
+	n atomic.Int64
 }
 
 // Add increments the counter by delta.
-func (c *Counter) Add(delta int64) {
-	c.mu.Lock()
-	c.n += delta
-	c.mu.Unlock()
-}
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
+func (c *Counter) Value() int64 { return c.n.Load() }
 
 // Dist collects float64 observations and answers exact order statistics.
 // It keeps all samples; experiment scales (≤ millions of points) make this

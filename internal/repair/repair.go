@@ -198,9 +198,22 @@ func (m *Manager) Arcs() []node.Arc {
 	return out
 }
 
-// Covers reports whether the effective responsibility contains p.
+// Covers reports whether the effective responsibility contains p. Walk
+// probes and orphan sweeps call this per tuple/point, so it checks the
+// base and adopted arcs in place rather than materialising Arcs().
 func (m *Manager) Covers(p node.Point) bool {
-	for _, a := range m.Arcs() {
+	if pc, ok := m.base.(sieve.PointCoverer); ok {
+		if pc.CoversPoint(p) {
+			return true
+		}
+	} else {
+		for _, a := range m.base.Arcs() {
+			if a.Contains(p) {
+				return true
+			}
+		}
+	}
+	for _, a := range m.adopted {
 		if a.Contains(p) {
 			return true
 		}
@@ -269,7 +282,9 @@ func (m *Manager) sweepOrphans(now sim.Round) []sim.Envelope {
 	launched := 0
 	visited := 0
 	var last string
-	m.st.ScanAll(m.orphanCursor, 0, func(t *tuple.Tuple) bool {
+	// Borrowed walk: the sweep reads only t.Key (a value copy) and the
+	// ring point; the walk query carries the key string, not the tuple.
+	m.st.ScanRef(m.orphanCursor, 0, func(t *tuple.Tuple) bool {
 		visited++
 		last = t.Key
 		if visited > 128 || launched >= m.cfg.OrphanBatch {

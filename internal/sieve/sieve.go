@@ -59,6 +59,13 @@ type ArcSieve interface {
 	Arcs() []node.Arc
 }
 
+// PointCoverer is implemented by arc sieves that answer point-coverage
+// queries against their cached arcs. Hot paths (walk probes, orphan
+// sweeps) prefer it over Arcs(), which copies.
+type PointCoverer interface {
+	CoversPoint(p node.Point) bool
+}
+
 // Config carries the parameters shared by all sieve families.
 type Config struct {
 	// Replication is the target number of copies r.
@@ -137,6 +144,35 @@ type Range struct {
 	cfg    Config
 	starts []node.Point
 	adjust float64 // repair-driven grain multiplier
+
+	arcCache arcCache
+}
+
+// arcCache memoises the materialised arcs of an arc sieve against the
+// retained fraction they were computed from. Keep() runs on every rumor
+// delivery at every node, and rebuilding the arc slice there was one
+// allocation per sieve decision; the fraction only moves when the size
+// estimate (or a repair adjustment) does.
+type arcCache struct {
+	frac float64
+	arcs []node.Arc
+}
+
+// get returns the arcs for fraction f over the given anchor points,
+// rebuilding in place only when f changed. The returned slice is shared:
+// callers must not mutate or hand it out (exported Arcs() copies).
+func (c *arcCache) get(starts []node.Point, f float64) []node.Arc {
+	if c.arcs == nil || c.frac != f {
+		if c.arcs == nil {
+			c.arcs = make([]node.Arc, len(starts))
+		}
+		per := f / float64(len(starts))
+		for i, s := range starts {
+			c.arcs[i] = node.ArcFromFraction(s, per)
+		}
+		c.frac = f
+	}
+	return c.arcs
 }
 
 var _ ArcSieve = (*Range)(nil)
@@ -152,22 +188,26 @@ func NewRange(self node.ID, cfg Config) *Range {
 	return &Range{self: self, cfg: cfg, starts: starts, adjust: 1}
 }
 
+// arcs returns the (cached, shared) responsibility arcs.
+func (r *Range) arcs() []node.Arc {
+	return r.arcCache.get(r.starts, r.cfg.fraction(r.adjust))
+}
+
 // Arcs implements ArcSieve: VirtualArcs arcs, each carrying an equal share
-// of the node's total fraction.
+// of the node's total fraction. The slice is the caller's to keep.
 func (r *Range) Arcs() []node.Arc {
-	f := r.cfg.fraction(r.adjust)
-	per := f / float64(len(r.starts))
-	arcs := make([]node.Arc, len(r.starts))
-	for i, s := range r.starts {
-		arcs[i] = node.ArcFromFraction(s, per)
-	}
-	return arcs
+	return append([]node.Arc(nil), r.arcs()...)
 }
 
 // Keep implements Sieve.
 func (r *Range) Keep(t *tuple.Tuple) bool {
-	p := t.Point()
-	for _, a := range r.Arcs() {
+	return r.CoversPoint(t.Point())
+}
+
+// CoversPoint reports whether the sieve's current arcs contain p,
+// without materialising a fresh arc slice.
+func (r *Range) CoversPoint(p node.Point) bool {
+	for _, a := range r.arcs() {
 		if a.Contains(p) {
 			return true
 		}
@@ -205,6 +245,8 @@ type Quantile struct {
 	// fallback handles tuples lacking the attribute.
 	fallback *Range
 	starts   []node.Point
+
+	arcCache arcCache
 }
 
 var _ ArcSieve = (*Quantile)(nil)
@@ -228,17 +270,16 @@ func NewQuantile(self node.ID, attr string, hist func() *histogram.EquiDepth, cf
 	}
 }
 
+// arcs returns the (cached, shared) responsibility arcs.
+func (q *Quantile) arcs() []node.Arc {
+	return q.arcCache.get(q.starts, q.cfg.fraction(1))
+}
+
 // Arcs implements ArcSieve. The arcs live on the "CDF ring": a value v
 // maps to point CDF(v) * 2^64, so equal arc widths are equal probability
-// masses.
+// masses. The slice is the caller's to keep.
 func (q *Quantile) Arcs() []node.Arc {
-	f := q.cfg.fraction(1)
-	per := f / float64(len(q.starts))
-	arcs := make([]node.Arc, len(q.starts))
-	for i, s := range q.starts {
-		arcs[i] = node.ArcFromFraction(s, per)
-	}
-	return arcs
+	return append([]node.Arc(nil), q.arcs()...)
 }
 
 // Keep implements Sieve.
@@ -249,7 +290,18 @@ func (q *Quantile) Keep(t *tuple.Tuple) bool {
 		return q.fallback.Keep(t)
 	}
 	p := CDFPoint(h, v)
-	for _, a := range q.Arcs() {
+	for _, a := range q.arcs() {
+		if a.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// CoversPoint reports whether the sieve's current CDF-ring arcs contain
+// p, without materialising a fresh arc slice.
+func (q *Quantile) CoversPoint(p node.Point) bool {
+	for _, a := range q.arcs() {
 		if a.Contains(p) {
 			return true
 		}
@@ -311,14 +363,11 @@ func (s *Tag) Keep(t *tuple.Tuple) bool {
 	if tag == "" {
 		return s.inner.Keep(t) // untagged tuples fall back to key hashing
 	}
-	p := node.HashKey(tag)
-	for _, a := range s.Arcs() {
-		if a.Contains(p) {
-			return true
-		}
-	}
-	return false
+	return s.inner.CoversPoint(node.HashKey(tag))
 }
+
+// CoversPoint reports whether the sieve's current arcs contain p.
+func (s *Tag) CoversPoint(p node.Point) bool { return s.inner.CoversPoint(p) }
 
 // Grain implements Sieve.
 func (s *Tag) Grain() float64 { return s.inner.Grain() }

@@ -40,6 +40,8 @@ type Churner struct {
 	rng  *rand.Rand
 	down map[node.ID]Round // transient-failure node -> revive round
 
+	scratch []node.ID // reused alive-snapshot buffer
+
 	// Counters for reporting.
 	Transients int
 	Permanents int
@@ -77,8 +79,9 @@ func (c *Churner) Step() {
 		delete(c.down, id)
 	}
 	if c.cfg.TransientPerRound > 0 || c.cfg.PermanentPerRound > 0 {
-		// Iterate over a snapshot: Kill invalidates the alive cache.
-		alive := append([]node.ID(nil), c.net.AliveIDs()...)
+		// Iterate over a reused snapshot: Kill invalidates the alive cache.
+		alive := append(c.scratch[:0], c.net.AliveIDs()...)
+		c.scratch = alive
 		for _, id := range alive {
 			r := c.rng.Float64()
 			switch {

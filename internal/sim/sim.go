@@ -15,7 +15,6 @@ package sim
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"datadroplets/internal/metrics"
 	"datadroplets/internal/node"
@@ -95,15 +94,24 @@ type nodeState struct {
 
 // Network is the simulated fabric plus the node population.
 type Network struct {
-	cfg   Config
-	rng   *rand.Rand
-	round Round
+	cfg      Config
+	rng      *rand.Rand
+	round    Round
+	fixDelay bool // MinDelay == MaxDelay: no per-message delay draw
 
 	nodes []*nodeState // index id-1; IDs are dense from 1
 
-	queue map[Round][]delivery
+	// queue is a ring of per-round delivery slices: messages due in round
+	// r live in queue[r % len(queue)]. The ring has MaxDelay+1 slots, so
+	// a message emitted in round r (delay 1..MaxDelay) can never land in
+	// the slot being drained for r. Drained slices are recycled through
+	// free, making the steady-state scheduler allocation-free.
+	queue    [][]delivery
+	free     [][]delivery
+	inFlight int
 
 	aliveCache []node.ID // sorted alive IDs; nil when invalidated
+	aliveCount int
 
 	// Stats is the fabric accounting for this run.
 	Stats Stats
@@ -113,9 +121,10 @@ type Network struct {
 func New(cfg Config) *Network {
 	c := cfg.withDefaults()
 	return &Network{
-		cfg:   c,
-		rng:   rand.New(rand.NewSource(c.Seed)),
-		queue: make(map[Round][]delivery),
+		cfg:      c,
+		rng:      rand.New(rand.NewSource(c.Seed)),
+		fixDelay: c.MinDelay == c.MaxDelay,
+		queue:    make([][]delivery, c.MaxDelay+1),
 	}
 }
 
@@ -131,6 +140,7 @@ func (n *Network) Spawn(build func(id node.ID, rng *rand.Rand) Machine) node.ID 
 	st.machine = build(id, rng)
 	n.nodes = append(n.nodes, st)
 	n.aliveCache = nil
+	n.aliveCount++
 	n.emit(id, st.machine.Start(n.round))
 	return id
 }
@@ -167,23 +177,25 @@ func (n *Network) Alive(id node.ID) bool {
 	return st != nil && st.alive
 }
 
-// Size returns the number of alive nodes.
-func (n *Network) Size() int { return len(n.AliveIDs()) }
+// Size returns the number of alive nodes. The count is maintained
+// incrementally by Spawn/Kill/Revive, so calling it mid-churn never
+// forces an alive-list rebuild.
+func (n *Network) Size() int { return n.aliveCount }
 
 // Population returns the total number of ever-spawned nodes.
 func (n *Network) Population() int { return len(n.nodes) }
 
 // AliveIDs returns the sorted IDs of alive nodes. The returned slice must
-// not be mutated.
+// not be mutated. Nodes are stored in ID order (IDs are dense from 1), so
+// the rebuild is a single ordered pass — no sort needed.
 func (n *Network) AliveIDs() []node.ID {
 	if n.aliveCache == nil {
-		ids := make([]node.ID, 0, len(n.nodes))
+		ids := make([]node.ID, 0, n.aliveCount)
 		for _, st := range n.nodes {
 			if st.alive {
 				ids = append(ids, st.id)
 			}
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		n.aliveCache = ids
 	}
 	return n.aliveCache
@@ -201,6 +213,7 @@ func (n *Network) Kill(id node.ID, permanent bool) {
 	st.alive = false
 	st.permanent = st.permanent || permanent
 	n.aliveCache = nil
+	n.aliveCount--
 }
 
 // Revive brings a transiently failed node back; its machine's Start runs
@@ -213,6 +226,7 @@ func (n *Network) Revive(id node.ID) {
 	}
 	st.alive = true
 	n.aliveCache = nil
+	n.aliveCount++
 	n.emit(id, st.machine.Start(n.round))
 }
 
@@ -221,6 +235,10 @@ func (n *Network) Revive(id node.ID) {
 // machine. The envelopes are attributed to from.
 func (n *Network) Emit(from node.ID, envs []Envelope) { n.emit(from, envs) }
 
+// emit enqueues envelopes. The loss draw is skipped entirely when
+// Loss == 0 and the delay draw when MinDelay == MaxDelay, so the common
+// lossless fixed-delay configuration consumes no fabric randomness per
+// message — and therefore none of the RNG stream other draws depend on.
 func (n *Network) emit(from node.ID, envs []Envelope) {
 	for _, e := range envs {
 		n.Stats.Sent.Inc()
@@ -229,11 +247,19 @@ func (n *Network) emit(from node.ID, envs []Envelope) {
 			continue
 		}
 		d := n.cfg.MinDelay
-		if n.cfg.MaxDelay > n.cfg.MinDelay {
+		if !n.fixDelay {
 			d += n.rng.Intn(n.cfg.MaxDelay - n.cfg.MinDelay + 1)
 		}
-		at := n.round + Round(d)
-		n.queue[at] = append(n.queue[at], delivery{from: from, to: e.To, msg: e.Msg})
+		slot := int(uint64(n.round+Round(d)) % uint64(len(n.queue)))
+		s := n.queue[slot]
+		if s == nil {
+			if k := len(n.free); k > 0 {
+				s = n.free[k-1]
+				n.free = n.free[:k-1]
+			}
+		}
+		n.queue[slot] = append(s, delivery{from: from, to: e.To, msg: e.Msg})
+		n.inFlight++
 	}
 }
 
@@ -241,8 +267,10 @@ func (n *Network) emit(from node.ID, envs []Envelope) {
 // round (in enqueue order), then tick every alive node in ID order.
 func (n *Network) Step() {
 	n.round++
-	due := n.queue[n.round]
-	delete(n.queue, n.round)
+	slot := int(uint64(n.round) % uint64(len(n.queue)))
+	due := n.queue[slot]
+	n.queue[slot] = nil
+	n.inFlight -= len(due)
 	for _, d := range due {
 		st := n.state(d.to)
 		if st == nil || !st.alive {
@@ -257,6 +285,14 @@ func (n *Network) Step() {
 			n.emit(st.id, st.machine.Tick(n.round))
 		}
 	}
+	if due != nil {
+		// Recycle the drained slice: clear payload references so message
+		// bodies are collectable, keep the capacity for future rounds.
+		for i := range due {
+			due[i] = delivery{}
+		}
+		n.free = append(n.free, due[:0])
+	}
 }
 
 // Run advances the simulation by the given number of rounds.
@@ -270,7 +306,7 @@ func (n *Network) Run(rounds int) {
 // returns the number of rounds stepped. Useful for draining dissemination.
 func (n *Network) Quiesce(maxRounds int) int {
 	for i := 0; i < maxRounds; i++ {
-		if len(n.queue) == 0 {
+		if n.inFlight == 0 {
 			return i
 		}
 		n.Step()
@@ -279,13 +315,7 @@ func (n *Network) Quiesce(maxRounds int) int {
 }
 
 // InFlight returns the number of queued, undelivered messages.
-func (n *Network) InFlight() int {
-	total := 0
-	for _, ds := range n.queue {
-		total += len(ds)
-	}
-	return total
-}
+func (n *Network) InFlight() int { return n.inFlight }
 
 // String summarises fabric statistics.
 func (n *Network) String() string {

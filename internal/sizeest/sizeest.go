@@ -56,6 +56,14 @@ type Estimator struct {
 	epoch   uint64
 	mins    []float64
 	settled float64 // estimate locked in at the end of the previous epoch
+
+	// rawCache memoises rawEstimate between vector changes: Estimate()
+	// is polled by every fanout computation and sieve-grain check, far
+	// more often than the vector actually changes. The cached value is
+	// always the result of a full fresh summation (never updated
+	// incrementally), so cached and uncached reads are bit-identical.
+	rawCache float64
+	rawDirty bool
 }
 
 var _ sim.Machine = (*Estimator)(nil)
@@ -84,10 +92,13 @@ func (e *Estimator) reseed(epoch uint64) {
 		}
 	}
 	e.epoch = epoch
-	e.mins = make([]float64, e.cfg.K)
+	if e.mins == nil {
+		e.mins = make([]float64, e.cfg.K)
+	}
 	for i := range e.mins {
 		e.mins[i] = e.rng.ExpFloat64()
 	}
+	e.rawDirty = true
 }
 
 // Start implements sim.Machine.
@@ -134,6 +145,7 @@ func (e *Estimator) merge(other []float64) {
 	for i := 0; i < n; i++ {
 		if other[i] < e.mins[i] {
 			e.mins[i] = other[i]
+			e.rawDirty = true
 		}
 	}
 }
@@ -144,16 +156,22 @@ func (e *Estimator) copyMins() []float64 {
 	return out
 }
 
-// rawEstimate computes (K-1)/Σmins over the working vector.
+// rawEstimate computes (K-1)/Σmins over the working vector, re-summing
+// from scratch only when the vector changed since the last call.
 func (e *Estimator) rawEstimate() float64 {
+	if !e.rawDirty {
+		return e.rawCache
+	}
 	var sum float64
 	for _, v := range e.mins {
 		sum += v
 	}
-	if sum <= 0 {
-		return 0
+	e.rawCache = 0
+	if sum > 0 {
+		e.rawCache = float64(len(e.mins)-1) / sum
 	}
-	return float64(len(e.mins)-1) / sum
+	e.rawDirty = false
+	return e.rawCache
 }
 
 // Estimate returns the node's current best estimate of N. Early in an

@@ -33,6 +33,17 @@ type skipNode struct {
 	point node.Point // cached ring position of key
 }
 
+// attrStat is the incrementally maintained summary of one attribute over
+// live tuples. Sum and count are exact under add/remove; min/max are
+// exact while fresh and recomputed lazily after a removal knocks out the
+// current extreme (removal cannot tighten an extreme incrementally).
+type attrStat struct {
+	sum      float64
+	count    int
+	min, max float64
+	fresh    bool // extremes valid; false forces lazy recompute
+}
+
 // Store is one node's tuple storage.
 type Store struct {
 	rng    *rand.Rand
@@ -44,6 +55,12 @@ type Store struct {
 	logi   int64 // applied-write counter (diagnostics)
 	capHit int64 // rejected-by-capacity counter
 	maxCap int64 // optional byte capacity, 0 = unlimited
+
+	// stats holds per-attribute aggregates maintained in Apply/Drop so
+	// the background protocols (push-sum aggregation, extremes) read
+	// node-local sums in O(1) instead of re-walking and cloning the
+	// whole store every epoch.
+	stats map[string]*attrStat
 }
 
 // New creates an empty store. The rand source drives skiplist level
@@ -51,8 +68,9 @@ type Store struct {
 // from the node's seeded RNG.
 func New(rng *rand.Rand) *Store {
 	return &Store{
-		rng:  rng,
-		head: &skipNode{next: make([]*skipNode, maxLevel)},
+		rng:   rng,
+		head:  &skipNode{next: make([]*skipNode, maxLevel)},
+		stats: make(map[string]*attrStat),
 	}
 }
 
@@ -132,17 +150,104 @@ func (s *Store) Apply(t *tuple.Tuple) bool {
 }
 
 func (s *Store) accountAdd(t *tuple.Tuple) {
-	if !t.Deleted {
-		s.live++
-		s.bytes += int64(len(t.Value))
+	if t.Deleted {
+		return
+	}
+	s.live++
+	s.bytes += int64(len(t.Value))
+	for name, v := range t.Attrs {
+		st := s.stats[name]
+		if st == nil {
+			st = &attrStat{fresh: true}
+			s.stats[name] = st
+		}
+		st.sum += v
+		st.count++
+		if st.fresh {
+			if st.count == 1 || v < st.min {
+				st.min = v
+			}
+			if st.count == 1 || v > st.max {
+				st.max = v
+			}
+		}
 	}
 }
 
 func (s *Store) accountRemove(t *tuple.Tuple) {
-	if !t.Deleted {
-		s.live--
-		s.bytes -= int64(len(t.Value))
+	if t.Deleted {
+		return
 	}
+	s.live--
+	s.bytes -= int64(len(t.Value))
+	for name, v := range t.Attrs {
+		st := s.stats[name]
+		if st == nil {
+			continue // unreachable: every live attr was accounted on add
+		}
+		st.count--
+		if st.count == 0 {
+			// Reset exactly: no floating-point residue survives an empty
+			// attribute, and the extremes become trivially fresh again.
+			*st = attrStat{fresh: true}
+			continue
+		}
+		st.sum -= v
+		if st.fresh && (v <= st.min || v >= st.max) {
+			st.fresh = false // the surviving extreme must be rediscovered
+		}
+	}
+}
+
+// recomputeExtremes walks live tuples once to restore an attribute's
+// min/max after a removal invalidated them. Amortised: it only runs when
+// AttrExtremes is asked about a stale attribute.
+func (s *Store) recomputeExtremes(name string, st *attrStat) {
+	first := true
+	for e := s.head.next[0]; e != nil; e = e.next[0] {
+		if e.tup.Deleted {
+			continue
+		}
+		v, ok := e.tup.Attrs[name]
+		if !ok {
+			continue
+		}
+		if first || v < st.min {
+			st.min = v
+		}
+		if first || v > st.max {
+			st.max = v
+		}
+		first = false
+	}
+	st.fresh = true
+}
+
+// AttrSum returns the sum and count of attr over live tuples, maintained
+// incrementally — the O(1) read the push-sum aggregation layer polls
+// every epoch. The sum is within floating-point accumulation error of a
+// fresh walk (additions and subtractions are applied in arrival order).
+func (s *Store) AttrSum(attr string) (sum float64, count int) {
+	st := s.stats[attr]
+	if st == nil {
+		return 0, 0
+	}
+	return st.sum, st.count
+}
+
+// AttrExtremes returns the min/max of attr over live tuples, or ok=false
+// when no live tuple carries the attribute. O(1) while extremes are
+// fresh; a removal that hit the extreme triggers one lazy O(keys)
+// recompute on the next call.
+func (s *Store) AttrExtremes(attr string) (lo, hi float64, ok bool) {
+	st := s.stats[attr]
+	if st == nil || st.count == 0 {
+		return 0, 0, false
+	}
+	if !st.fresh {
+		s.recomputeExtremes(attr, st)
+	}
+	return st.min, st.max, true
 }
 
 // Get returns a clone of the live tuple, or (nil, false) if absent or
@@ -271,6 +376,44 @@ func (s *Store) ScanRange(from, to string, fn func(*tuple.Tuple) bool) {
 func (s *Store) ForEach(fn func(*tuple.Tuple) bool) {
 	for e := s.head.next[0]; e != nil; e = e.next[0] {
 		if !fn(e.tup.Clone()) {
+			return
+		}
+	}
+}
+
+// ForEachRef visits every entry, tombstones included, in key order,
+// passing BORROWED references: the callback must not mutate the tuple
+// (including its Value/Attrs/Tags contents) and must not retain the
+// pointer past its return — clone first if either is needed. In exchange
+// the walk allocates nothing, which is what keeps the background
+// protocols' per-epoch store passes off the allocator at paper scale.
+func (s *Store) ForEachRef(fn func(*tuple.Tuple) bool) {
+	for e := s.head.next[0]; e != nil; e = e.next[0] {
+		if !fn(e.tup) {
+			return
+		}
+	}
+}
+
+// ScanRef visits entries with key >= from in key order, tombstones
+// included, until fn returns false or limit entries have been visited
+// (limit <= 0 means no limit). It is the borrowed-reference counterpart
+// of ScanAll and carries the same contract as ForEachRef: no mutation,
+// no retention.
+func (s *Store) ScanRef(from string, limit int, fn func(*tuple.Tuple) bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < from {
+			x = x.next[i]
+		}
+	}
+	n := 0
+	for e := x.next[0]; e != nil; e = e.next[0] {
+		if limit > 0 && n >= limit {
+			return
+		}
+		n++
+		if !fn(e.tup) {
 			return
 		}
 	}
