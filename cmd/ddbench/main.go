@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,7 +34,8 @@ func main() {
 		scale   = flag.Float64("scale", 0.25, "population/trial scale (1.0 = paper scale)")
 		seed    = flag.Int64("seed", 42, "random seed")
 		csv     = flag.String("csv", "", "directory to write per-table CSV files (optional)")
-		jsonOut = flag.String("json", "", "file to write the throughput report as JSON (with -run throughput)")
+		jsonOut = flag.String("json", "", "file to write the selected run's report as JSON (with -run throughput or -run simscale)")
+		workers = flag.String("workers", "1", "comma-separated fabric worker counts to sweep (with -run simscale)")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -56,7 +58,12 @@ func main() {
 	}
 
 	if *run == "simscale" {
-		if err := runSimScale(*seed, *scale, *jsonOut); err != nil {
+		ws, err := parseWorkers(*workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: -workers: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runSimScale(*seed, *scale, *jsonOut, ws); err != nil {
 			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -101,4 +108,24 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// parseWorkers parses the -workers sweep list ("1,4" → [1, 4]).
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("invalid worker count %q", part)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 
 	"datadroplets/internal/experiments"
 )
@@ -16,10 +17,14 @@ var simscalePopulations = []int{2000, 10000}
 // under; the before/after comparison is only printed for matching runs.
 const simscaleBaselineSeed = 42
 
-// simscaleRow is one population's measurement.
+// simscaleRow is one (population, worker count) measurement. Digest is
+// invariant across worker counts for a given population and seed — the
+// determinism contract — so equal digests within a sweep double as an
+// in-report equivalence check.
 type simscaleRow struct {
 	Nodes          int     `json:"nodes"`
 	Rounds         int     `json:"rounds"`
+	Workers        int     `json:"workers"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	RoundsPerSec   float64 `json:"rounds_per_sec"`
 	SecondsPerRnd  float64 `json:"seconds_per_round"`
@@ -31,11 +36,14 @@ type simscaleRow struct {
 }
 
 type simscaleReport struct {
-	Benchmark string        `json:"benchmark"`
-	Seed      int64         `json:"seed"`
-	Baseline  *simscaleRow  `json:"baseline_pre_pr,omitempty"`
-	SpeedupX  float64       `json:"speedup_at_baseline_n,omitempty"`
-	Results   []simscaleRow `json:"results"`
+	Benchmark string `json:"benchmark"`
+	Seed      int64  `json:"seed"`
+	// Host notes hardware constraints relevant to the worker sweep
+	// (parallel speedup is bounded by the cores actually available).
+	Host     string        `json:"host,omitempty"`
+	Baseline *simscaleRow  `json:"baseline_pre_pr,omitempty"`
+	SpeedupX float64       `json:"speedup_at_baseline_n,omitempty"`
+	Results  []simscaleRow `json:"results"`
 }
 
 // simscaleBaseline is the measured pre-optimisation reference (map-keyed
@@ -62,6 +70,7 @@ func toRow(r *experiments.SimScaleResult) simscaleRow {
 	return simscaleRow{
 		Nodes:          r.Nodes,
 		Rounds:         r.Rounds,
+		Workers:        r.Workers,
 		ElapsedSeconds: r.ElapsedSeconds,
 		RoundsPerSec:   r.RoundsPerSec,
 		SecondsPerRnd:  r.SecondsPerRnd,
@@ -74,43 +83,65 @@ func toRow(r *experiments.SimScaleResult) simscaleRow {
 }
 
 // runSimScale sweeps the fabric benchmark over the population sizes and
-// optionally writes the JSON report.
-func runSimScale(seed int64, scale float64, jsonPath string) error {
-	report := simscaleReport{Benchmark: "simscale", Seed: seed}
+// worker counts, cross-checks that every worker count reproduced the
+// same digest, and optionally writes the JSON report.
+func runSimScale(seed int64, scale float64, jsonPath string, workerCounts []int) error {
+	report := simscaleReport{
+		Benchmark: "simscale",
+		Seed:      seed,
+		Host:      fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d", runtime.GOMAXPROCS(0), runtime.NumCPU()),
+	}
 	if scale == 1 && seed == simscaleBaselineSeed {
 		b := simscaleBaseline
 		report.Baseline = &b
 	}
 
-	fmt.Printf("simscale: write+churn+repair fabric benchmark, seed %d, scale %.2f\n", seed, scale)
-	fmt.Printf("%8s %8s %10s %12s %14s %14s %12s\n",
-		"nodes", "rounds", "seconds", "rounds/sec", "allocs/round", "bytes/round", "delivered")
+	fmt.Printf("simscale: write+churn+repair fabric benchmark, seed %d, scale %.2f, workers %v\n",
+		seed, scale, workerCounts)
+	fmt.Printf("%8s %8s %8s %10s %12s %14s %14s %12s\n",
+		"nodes", "rounds", "workers", "seconds", "rounds/sec", "allocs/round", "bytes/round", "delivered")
 	for _, n := range simscalePopulations {
 		nodes := int(float64(n) * scale)
 		if nodes < 64 {
 			nodes = 64
 		}
 		rounds := 200
-		res := experiments.RunSimScale(experiments.SimScaleConfig{
-			Nodes:             nodes,
-			Rounds:            rounds,
-			Warmup:            30,
-			Seed:              seed,
-			WritesPerRound:    16,
-			TransientPerRound: 0.002,
-			PermanentPerRound: 0.0002,
-			MeanDowntime:      10,
-			AggregateAttr:     "v",
-		})
-		row := toRow(res)
-		report.Results = append(report.Results, row)
-		fmt.Printf("%8d %8d %10.2f %12.1f %14.0f %14.0f %12d\n",
-			row.Nodes, row.Rounds, row.ElapsedSeconds, row.RoundsPerSec,
-			row.AllocsPerRound, row.BytesPerRound, row.Delivered)
-		if report.Baseline != nil && row.Nodes == report.Baseline.Nodes {
-			report.SpeedupX = row.RoundsPerSec / report.Baseline.RoundsPerSec
-			fmt.Printf("%8s pre-PR baseline at N=%d: %.1f rounds/sec -> speedup %.1fx\n",
-				"", row.Nodes, report.Baseline.RoundsPerSec, report.SpeedupX)
+		baseDigest := ""
+		var w1RoundsPerSec float64
+		for _, w := range workerCounts {
+			res := experiments.RunSimScale(experiments.SimScaleConfig{
+				Nodes:             nodes,
+				Rounds:            rounds,
+				Warmup:            30,
+				Seed:              seed,
+				WritesPerRound:    16,
+				TransientPerRound: 0.002,
+				PermanentPerRound: 0.0002,
+				MeanDowntime:      10,
+				AggregateAttr:     "v",
+				Workers:           w,
+			})
+			row := toRow(res)
+			report.Results = append(report.Results, row)
+			fmt.Printf("%8d %8d %8d %10.2f %12.1f %14.0f %14.0f %12d\n",
+				row.Nodes, row.Rounds, row.Workers, row.ElapsedSeconds, row.RoundsPerSec,
+				row.AllocsPerRound, row.BytesPerRound, row.Delivered)
+			switch {
+			case baseDigest == "":
+				baseDigest = row.Digest
+				w1RoundsPerSec = row.RoundsPerSec
+			case row.Digest != baseDigest:
+				return fmt.Errorf("determinism violation at N=%d: W=%d digest %s != %s",
+					nodes, w, row.Digest, baseDigest)
+			default:
+				fmt.Printf("%8s digest identical to W=%d run; speedup %.2fx\n",
+					"", workerCounts[0], row.RoundsPerSec/w1RoundsPerSec)
+			}
+			if report.Baseline != nil && row.Nodes == report.Baseline.Nodes && row.Workers == 1 {
+				report.SpeedupX = row.RoundsPerSec / report.Baseline.RoundsPerSec
+				fmt.Printf("%8s pre-PR baseline at N=%d: %.1f rounds/sec -> speedup %.1fx\n",
+					"", row.Nodes, report.Baseline.RoundsPerSec, report.SpeedupX)
+			}
 		}
 	}
 

@@ -115,6 +115,15 @@ func WithLoss(p float64) Option {
 	return func(c *config) { c.cluster.Loss = p }
 }
 
+// WithWorkers shards the fabric's compute phase across the given number
+// of workers. Behaviour — every result, error and round count — is
+// byte-identical at any setting (the simulator's deterministic two-phase
+// executor); only wall-clock time changes. Call Close on the cluster
+// when done to release the worker pool.
+func WithWorkers(w int) Option {
+	return func(c *config) { c.cluster.Workers = w }
+}
+
 // WithQuantileSieve enables distribution-aware placement and ordered
 // range scans over attr.
 func WithQuantileSieve(attr string) Option {
@@ -248,7 +257,7 @@ func (c *Cluster) DeleteAsync(key string) *Async {
 
 // Step advances the simulation one round, delivering messages and
 // resolving any operations they complete.
-func (c *Cluster) Step() { c.inner.Net.Step() }
+func (c *Cluster) Step() { c.inner.Step() }
 
 // Round returns the current simulated round.
 func (c *Cluster) Round() int { return int(c.inner.Net.Round()) }
@@ -362,9 +371,9 @@ func (c *Cluster) RecoverSoftLayer() (int, error) {
 	return c.inner.RecoverSoftLayer(8, 1<<20, 200)
 }
 
-// Close releases the cluster. Present for API symmetry; the in-process
-// fabric holds no external resources.
-func (c *Cluster) Close() {}
+// Close releases the cluster's fabric worker pool (a no-op for the
+// default serial fabric).
+func (c *Cluster) Close() { c.inner.Close() }
 
 // NodeID is re-exported for tooling that inspects per-node state.
 type NodeID = node.ID

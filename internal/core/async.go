@@ -71,7 +71,9 @@ var errNoSoft = errors.New("core: no alive soft node")
 
 // track emits the op's envelopes and registers the handle with the
 // engine: the soft node now owns completion (reply or deadline expiry)
-// and notifies the cluster through the armed callback.
+// and queues the finished op for reap, which runs after each committed
+// round — never from inside the node's own Handle/Tick, where touching
+// cluster-level state would break the fabric's node-confinement contract.
 func (c *Cluster) track(s *SoftNode, kind OpKind, key string, opID uint64, envs []sim.Envelope, budget int) *Pending {
 	c.Net.Emit(s.Self, envs)
 	p := &Pending{Kind: kind, Key: key, s: s, id: opID}
@@ -86,10 +88,7 @@ func (c *Cluster) track(s *SoftNode, kind OpKind, key string, opID uint64, envs 
 		return p
 	}
 	p.deadline = c.Net.Round() + sim.Round(budget)
-	s.Arm(opID, p.deadline, func(op *Op) {
-		delete(c.inflight, p.id)
-		c.settle(p, op)
-	})
+	s.Arm(opID, p.deadline)
 	if len(c.inflight) == 0 {
 		// Nothing tracked: drop the stale bound from earlier batches so
 		// WaitAll never waits for deadlines of long-resolved ops.
@@ -100,6 +99,26 @@ func (c *Cluster) track(s *SoftNode, kind OpKind, key string, opID uint64, envs 
 		c.maxDeadline = p.deadline
 	}
 	return p
+}
+
+// reap is the engine's half of the commit phase: collect every op the
+// soft nodes completed during the round just stepped and settle its
+// handle. Soft nodes are visited in ID order and each queue is in
+// completion order, so resolution order is deterministic.
+func (c *Cluster) reap() {
+	if len(c.inflight) == 0 {
+		return
+	}
+	for _, id := range c.softIDs {
+		for _, op := range c.Softs[id].TakeCompleted() {
+			p, tracked := c.inflight[op.ID]
+			if !tracked {
+				continue // already force-expired and settled
+			}
+			delete(c.inflight, op.ID)
+			c.settle(p, op)
+		}
+	}
 }
 
 // settle folds a finished op into its handle and releases the op from
@@ -181,7 +200,7 @@ func (c *Cluster) Drain(maxRounds int) int {
 		if len(c.inflight) == 0 {
 			return i
 		}
-		c.Net.Step()
+		c.Step()
 	}
 	return maxRounds
 }
@@ -193,7 +212,7 @@ func (c *Cluster) Drain(maxRounds int) int {
 func (c *Cluster) WaitAll() int {
 	steps := 0
 	for len(c.inflight) > 0 && c.Net.Round() <= c.maxDeadline {
-		c.Net.Step()
+		c.Step()
 		steps++
 	}
 	c.expireStranded()
@@ -219,14 +238,15 @@ func (c *Cluster) expireStranded() {
 }
 
 // forceExpire resolves a handle as timed out from the client's side,
-// keeping any partial results the op accumulated.
+// keeping any partial results the op accumulated. Marking the op Done
+// directly (not via complete) keeps it out of the soft node's completion
+// queue, so a later reap cannot settle it twice.
 func (c *Cluster) forceExpire(p *Pending) {
 	if p.done {
 		return
 	}
 	if op, ok := p.s.Op(p.id); ok {
 		op.Expired = true
-		op.onDone = nil // settle directly; skip the armed callback
 		op.Done = true
 		c.settle(p, op)
 		return
@@ -238,7 +258,7 @@ func (c *Cluster) forceExpire(p *Pending) {
 // client path, expressed against the async engine.
 func (c *Cluster) wait(p *Pending) {
 	for !p.done && c.Net.Round() <= p.deadline {
-		c.Net.Step()
+		c.Step()
 	}
 	if !p.done {
 		delete(c.inflight, p.id)

@@ -40,6 +40,10 @@ type ClusterConfig struct {
 	// Loss / MinDelay / MaxDelay configure the fabric.
 	Loss               float64
 	MinDelay, MaxDelay int
+	// Workers shards the fabric's compute phase (sim.Config.Workers);
+	// client-visible behaviour is byte-identical at every setting. A
+	// cluster with Workers > 1 should be Closed when done.
+	Workers int
 	// Soft tunes soft-state nodes; Persist tunes persistent nodes.
 	Soft    SoftConfig
 	Persist epidemic.Config
@@ -94,7 +98,7 @@ var (
 func NewCluster(cfg ClusterConfig) *Cluster {
 	cfg = cfg.normalized()
 	c := &Cluster{
-		Net:      sim.New(sim.Config{Seed: cfg.Seed, Loss: cfg.Loss, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay}),
+		Net:      sim.New(sim.Config{Seed: cfg.Seed, Loss: cfg.Loss, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay, Workers: cfg.Workers}),
 		cfg:      cfg,
 		softRing: dht.NewRing(cfg.Vnodes),
 		Softs:    make(map[node.ID]*SoftNode, cfg.SoftNodes),
@@ -193,9 +197,26 @@ func (c *Cluster) Aggregate(attr string) (epidemic.AggResp, error) {
 	return p.Agg(), p.Err()
 }
 
+// Step advances the whole deployment one round and resolves any async
+// op handles that completed during it. External drivers must step the
+// cluster through here (not Net.Step directly), or completions stay
+// queued on their soft nodes until the next engine-driven round.
+func (c *Cluster) Step() {
+	c.Net.Step()
+	c.reap()
+}
+
 // Run advances the whole deployment the given number of rounds (gossip
-// epochs, repair cycles, overlay convergence).
-func (c *Cluster) Run(rounds int) { c.Net.Run(rounds) }
+// epochs, repair cycles, overlay convergence), resolving any async op
+// handles that complete along the way.
+func (c *Cluster) Run(rounds int) {
+	for i := 0; i < rounds; i++ {
+		c.Step()
+	}
+}
+
+// Close releases the fabric's worker pool (no-op for serial clusters).
+func (c *Cluster) Close() { c.Net.Close() }
 
 // WipeSoftLayer destroys all soft-state metadata — C14's catastrophe.
 func (c *Cluster) WipeSoftLayer() {

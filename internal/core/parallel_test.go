@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"datadroplets/internal/epidemic"
+)
+
+// driveClientScenario runs the full client engine — sync and async ops,
+// batches, loss, churn, a soft-layer wipe and recovery — on a cluster
+// whose fabric computes with the given worker count, and returns a
+// transcript of every client-visible outcome. Both layers (soft nodes
+// with the deferred completion queue, persistent nodes behind the
+// persist adapter) execute inside the sharded compute phase, which is
+// exactly the surface the reap redesign exists to make confinement-safe.
+func driveClientScenario(workers int) string {
+	c := NewCluster(ClusterConfig{
+		SoftNodes:       4,
+		PersistentNodes: 32,
+		Seed:            99,
+		Loss:            0.05,
+		Workers:         workers,
+		Soft:            SoftConfig{WriteAcks: 2},
+		Persist: epidemic.Config{
+			Replication: 3, FanoutC: 3, AntiEntropyEvery: 5,
+			AggregateAttrs: []string{"n"},
+		},
+	})
+	defer c.Close()
+	c.Run(20)
+
+	out := ""
+	for i := 0; i < 24; i++ {
+		err := c.Put(fmt.Sprintf("k-%02d", i), []byte(fmt.Sprintf("v%d", i)),
+			map[string]float64{"n": float64(i)}, nil)
+		out += fmt.Sprintf("put %d err=%v\n", i, err)
+	}
+
+	// Pipelined batch sharing rounds, including gets and a delete.
+	ops := make([]BatchOp, 0, 32)
+	for i := 0; i < 16; i++ {
+		ops = append(ops, BatchOp{Kind: OpPut, Key: fmt.Sprintf("b-%02d", i), Value: []byte("x")})
+	}
+	for i := 0; i < 8; i++ {
+		ops = append(ops, BatchOp{Kind: OpGet, Key: fmt.Sprintf("k-%02d", i)})
+	}
+	ops = append(ops, BatchOp{Kind: OpDelete, Key: "k-03"})
+	for i, r := range c.Batch(ops) {
+		val := ""
+		if r.Tuple != nil {
+			val = string(r.Tuple.Value)
+		}
+		out += fmt.Sprintf("batch %d err=%v val=%q\n", i, r.Err, val)
+	}
+
+	// Churn mid-stream: kill two persistent nodes (one forever), keep
+	// operating, revive one.
+	c.Net.Kill(c.persIDs[4], false)
+	c.Net.Kill(c.persIDs[9], true)
+	c.Run(5)
+	if _, err := c.Get("k-07"); err != nil {
+		out += fmt.Sprintf("churn get err=%v\n", err)
+	}
+	c.Net.Revive(c.persIDs[4])
+	c.Run(5)
+
+	// Catastrophic soft-state loss and rebuild from the persistent layer.
+	c.WipeSoftLayer()
+	n, err := c.RecoverSoftLayer(8, 1<<20, 200)
+	out += fmt.Sprintf("recover n=%d err=%v\n", n, err)
+
+	agg, err := c.Aggregate("n")
+	out += fmt.Sprintf("agg known=%v err=%v\n", agg.Known, err)
+	out += fmt.Sprintf("round=%d inflight=%d stats=%v\n", c.Net.Round(), c.InFlightOps(), c.Net.String())
+	return out
+}
+
+// TestClientEngineEquivalentAcrossWorkers pins the whole two-layer
+// client path — soft-node op tracking with reap-based completion, the
+// persist adapter, write acks, batches, churn and recovery — to a
+// byte-identical transcript at every fabric worker count.
+func TestClientEngineEquivalentAcrossWorkers(t *testing.T) {
+	ref := driveClientScenario(1)
+	for _, w := range []int{2, 4} {
+		if got := driveClientScenario(w); got != ref {
+			t.Fatalf("W=%d client transcript diverged from serial:\n--- serial ---\n%s--- W=%d ---\n%s",
+				w, ref, w, got)
+		}
+	}
+}

@@ -51,7 +51,11 @@ type Op struct {
 	Expired  bool
 	want     int // replies that complete the op
 	version  tuple.Version
-	onDone   func(*Op)
+	// armed marks ops whose completion the cluster engine wants to hear
+	// about; completing an armed op queues it (see TakeCompleted) instead
+	// of calling into cluster state — Handle/Tick run inside the fabric's
+	// compute phase, which the Machine contract confines to this node.
+	armed bool
 	// ackedBy dedupes StoreAck senders: WriteAcks counts distinct
 	// replicas, and one replica storing successive pipelined versions
 	// of a key must not count twice.
@@ -105,6 +109,10 @@ type SoftNode struct {
 
 	nextOp uint64
 	ops    map[uint64]*Op
+	// completed queues armed ops that finished during Handle/Tick, in
+	// completion order. The cluster engine drains it after each committed
+	// round: op completion must not reach across nodes mid-round.
+	completed []*Op
 	// putsByKey matches StoreAcks to put ops: all pending writes per
 	// key, in submission (= version) order, so pipelined writes to one
 	// key each find their acknowledgement.
@@ -147,31 +155,45 @@ func (s *SoftNode) Op(id uint64) (*Op, bool) {
 	return op, ok
 }
 
-// complete marks an op done exactly once and fires its completion
-// callback. Every path that finishes an op funnels through here so the
-// async engine sees each completion.
+// complete marks an op done exactly once. Armed ops are queued for the
+// cluster engine to collect once the round has committed; every path that
+// finishes an op funnels through here so the engine sees each completion.
 func (s *SoftNode) complete(op *Op) {
 	if op.Done {
 		return
 	}
 	op.Done = true
-	if op.onDone != nil {
-		op.onDone(op)
+	if op.armed {
+		s.completed = append(s.completed, op)
 	}
 }
 
-// Arm attaches a deadline and a completion callback to a pending op.
-// From then on the soft node owns the op's lifetime: when a reply
-// completes it — or the deadline passes — fn fires (exactly once).
-// Returns false when the op is unknown or already done.
-func (s *SoftNode) Arm(id uint64, deadline sim.Round, fn func(*Op)) bool {
+// Arm attaches a deadline to a pending op and subscribes the cluster
+// engine to its completion. From then on the soft node owns the op's
+// lifetime: when a reply completes it — or the deadline passes — the op
+// is queued exactly once for TakeCompleted. Returns false when the op is
+// unknown or already done.
+func (s *SoftNode) Arm(id uint64, deadline sim.Round) bool {
 	op, ok := s.ops[id]
 	if !ok || op.Done {
 		return false
 	}
 	op.Deadline = deadline
-	op.onDone = fn
+	op.armed = true
 	return true
+}
+
+// TakeCompleted returns the armed ops that completed since the last call
+// and clears the queue. The cluster engine calls it between rounds; the
+// returned ops are in completion order, which is deterministic for a
+// given seed.
+func (s *SoftNode) TakeCompleted() []*Op {
+	if len(s.completed) == 0 {
+		return nil
+	}
+	out := s.completed
+	s.completed = nil
+	return out
 }
 
 // PendingOps returns the number of live (not yet completed) ops the

@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // TestDeterminismAtScale runs a 2000-node cluster with churn twice under
 // the same seed and asserts the runs agree on every observable: fabric
@@ -26,25 +29,66 @@ func TestDeterminismAtScale(t *testing.T) {
 	}
 	a := RunSimScale(cfg)
 	b := RunSimScale(cfg)
+	compareSimScaleRuns(t, "run A (serial)", "run B (serial)", a, b)
+}
 
+// TestDeterminismAtScaleAcrossWorkers is the same-seed double-run at
+// paper-relevant scale across the two-phase executor's worker counts: a
+// 2000-node churn-enabled run at W ∈ {2, 4, 8} must agree with the
+// serial run on every observable — fabric Stats, each node's full-ring
+// store digest and Stored counter. Populations this size are where
+// sharding bugs that small fixtures cannot see (delivery skew across
+// shards, commit-order slips under tens of thousands of queued messages)
+// would surface.
+func TestDeterminismAtScaleAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2k-node multi-worker runs take tens of seconds")
+	}
+	cfg := SimScaleConfig{
+		Nodes:             2000,
+		Rounds:            40,
+		Warmup:            0,
+		Seed:              1234,
+		WritesPerRound:    16,
+		TransientPerRound: 0.002,
+		PermanentPerRound: 0.0002,
+		MeanDowntime:      10,
+		AggregateAttr:     "v",
+	}
+	ref := RunSimScale(cfg)
+	for _, w := range []int{2, 4, 8} {
+		pcfg := cfg
+		pcfg.Workers = w
+		res := RunSimScale(pcfg)
+		compareSimScaleRuns(t, "serial", fmt.Sprintf("W=%d", w), ref, res)
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+}
+
+// compareSimScaleRuns asserts two runs agree on every observable the
+// determinism contract covers.
+func compareSimScaleRuns(t *testing.T, an, bn string, a, b *SimScaleResult) {
+	t.Helper()
 	if a.Sent != b.Sent || a.Delivered != b.Delivered ||
 		a.LostLink != b.LostLink || a.LostDead != b.LostDead {
-		t.Fatalf("sim.Stats diverged:\n a: sent=%d delivered=%d lostLink=%d lostDead=%d\n b: sent=%d delivered=%d lostLink=%d lostDead=%d",
-			a.Sent, a.Delivered, a.LostLink, a.LostDead,
-			b.Sent, b.Delivered, b.LostLink, b.LostDead)
+		t.Fatalf("sim.Stats diverged:\n %s: sent=%d delivered=%d lostLink=%d lostDead=%d\n %s: sent=%d delivered=%d lostLink=%d lostDead=%d",
+			an, a.Sent, a.Delivered, a.LostLink, a.LostDead,
+			bn, b.Sent, b.Delivered, b.LostLink, b.LostDead)
 	}
 	if a.AliveEnd != b.AliveEnd {
-		t.Fatalf("alive count diverged: %d vs %d", a.AliveEnd, b.AliveEnd)
+		t.Fatalf("alive count diverged between %s and %s: %d vs %d", an, bn, a.AliveEnd, b.AliveEnd)
 	}
 	if len(a.NodeDigests) != len(b.NodeDigests) {
-		t.Fatalf("population diverged: %d vs %d nodes", len(a.NodeDigests), len(b.NodeDigests))
+		t.Fatalf("population diverged between %s and %s: %d vs %d nodes", an, bn, len(a.NodeDigests), len(b.NodeDigests))
 	}
 	for i := range a.NodeDigests {
 		if a.NodeDigests[i] != b.NodeDigests[i] {
-			t.Errorf("node %d: store digest diverged: %016x vs %016x", i+1, a.NodeDigests[i], b.NodeDigests[i])
+			t.Errorf("node %d: store digest diverged between %s and %s: %016x vs %016x", i+1, an, bn, a.NodeDigests[i], b.NodeDigests[i])
 		}
 		if a.NodeStored[i] != b.NodeStored[i] {
-			t.Errorf("node %d: Stored counter diverged: %d vs %d", i+1, a.NodeStored[i], b.NodeStored[i])
+			t.Errorf("node %d: Stored counter diverged between %s and %s: %d vs %d", i+1, an, bn, a.NodeStored[i], b.NodeStored[i])
 		}
 		if t.Failed() && i > 20 {
 			t.Fatal("stopping after first divergent nodes")

@@ -46,6 +46,10 @@ type SimScaleConfig struct {
 	// aggregation and KMV distribution estimation over that attribute —
 	// the per-epoch local store passes this PR makes clone-free.
 	AggregateAttr string
+	// Workers shards the fabric's compute phase (sim.Config.Workers).
+	// The trace — and therefore the Digest — is byte-identical at every
+	// setting; only wall-clock changes. Zero/one means serial.
+	Workers int
 }
 
 func (c SimScaleConfig) normalized() SimScaleConfig {
@@ -76,8 +80,9 @@ func (c SimScaleConfig) normalized() SimScaleConfig {
 // to preserve byte-for-byte across same-seed runs and across scheduler /
 // storage refactors.
 type SimScaleResult struct {
-	Nodes  int `json:"nodes"`
-	Rounds int `json:"rounds"`
+	Nodes   int `json:"nodes"`
+	Rounds  int `json:"rounds"`
+	Workers int `json:"workers"`
 
 	Elapsed        time.Duration `json:"-"`
 	ElapsedSeconds float64       `json:"elapsed_seconds"`
@@ -124,8 +129,8 @@ func (r *SimScaleResult) Digest() uint64 {
 
 // String renders the headline numbers.
 func (r *SimScaleResult) String() string {
-	return fmt.Sprintf("simscale N=%d rounds=%d %.2fs (%.1f rounds/sec, %.0f allocs/round) sent=%d delivered=%d digest=%016x",
-		r.Nodes, r.Rounds, r.ElapsedSeconds, r.RoundsPerSec, r.AllocsPerRound, r.Sent, r.Delivered, r.Digest())
+	return fmt.Sprintf("simscale N=%d rounds=%d W=%d %.2fs (%.1f rounds/sec, %.0f allocs/round) sent=%d delivered=%d digest=%016x",
+		r.Nodes, r.Rounds, r.Workers, r.ElapsedSeconds, r.RoundsPerSec, r.AllocsPerRound, r.Sent, r.Delivered, r.Digest())
 }
 
 // RunSimScale builds the cluster, applies warmup, then measures Rounds
@@ -157,7 +162,8 @@ func RunSimScale(cfg SimScaleConfig) *SimScaleResult {
 		ecfg.EstimateAttr = cfg.AggregateAttr
 	}
 
-	net := sim.New(sim.Config{Seed: cfg.Seed})
+	net := sim.New(sim.Config{Seed: cfg.Seed, Workers: cfg.Workers})
+	defer net.Close()
 	build := func(id node.ID, rng *rand.Rand) sim.Machine {
 		en := epidemic.New(id, rng, membership.NewUniformView(id, rng, pop), ecfg)
 		nodes = append(nodes, en)
@@ -221,6 +227,7 @@ func RunSimScale(cfg SimScaleConfig) *SimScaleResult {
 	res := &SimScaleResult{
 		Nodes:          cfg.Nodes,
 		Rounds:         cfg.Rounds,
+		Workers:        max(cfg.Workers, 1),
 		Elapsed:        elapsed,
 		ElapsedSeconds: elapsed.Seconds(),
 		RoundsPerSec:   float64(cfg.Rounds) / elapsed.Seconds(),

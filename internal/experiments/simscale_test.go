@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // goldenSimScaleDigest pins the complete observable behaviour (fabric
 // Stats, every node's store digest, Stored counters) of a fixed-seed
@@ -48,5 +51,31 @@ func TestSimScaleSameSeedTwice(t *testing.T) {
 	b := RunSimScale(cfg)
 	if a.Digest() != b.Digest() {
 		t.Fatalf("same-seed runs diverged:\n a=%+v\n b=%+v", a, b)
+	}
+}
+
+// TestSimScaleGoldenDigestAcrossWorkerCounts is the acceptance bar of the
+// parallel-executor refactor: the golden digest — pinned before the
+// executor existed — must hold unchanged at every worker count, on the
+// full churn-enabled fixture (goldenConfig kills, revives and
+// permanently fails nodes throughout). Per-node store digests are also
+// compared against the serial run so a divergence names the first node
+// that drifted rather than only failing the folded digest.
+func TestSimScaleGoldenDigestAcrossWorkerCounts(t *testing.T) {
+	ref := RunSimScale(goldenConfig) // serial reference (Workers = 0 → 1)
+	if got := ref.Digest(); got != goldenSimScaleDigest {
+		t.Fatalf("serial digest drifted: got %#016x want %#016x", got, uint64(goldenSimScaleDigest))
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		cfg := goldenConfig
+		cfg.Workers = w
+		res := RunSimScale(cfg)
+		if got := res.Digest(); got != goldenSimScaleDigest {
+			t.Errorf("W=%d: behaviour digest drifted: got %#016x want %#016x", w, got, uint64(goldenSimScaleDigest))
+		}
+		compareSimScaleRuns(t, "serial", fmt.Sprintf("W=%d", w), ref, res)
+		if t.Failed() {
+			t.FailNow()
+		}
 	}
 }

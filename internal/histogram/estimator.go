@@ -44,6 +44,11 @@ type EstimatorConfig struct {
 }
 
 // Sketch exchange messages.
+//
+// Entries is an immutable shared buffer: the sender publishes its
+// sketch's own backing array (KMV.SharedEntries) rather than a copy, and
+// copy-on-writes before its next mutation. Receivers must only read it —
+// MergeEntries and FromEntries honour that contract.
 type (
 	// SketchPush carries one node's sketch; the receiver merges and
 	// replies with its own (push-pull doubles convergence speed).
@@ -114,7 +119,7 @@ func (e *Estimator) Tick(now sim.Round) []sim.Envelope {
 		return nil
 	}
 	return []sim.Envelope{{To: peer, Msg: SketchPush{
-		Epoch: e.epoch, K: e.sketch.K(), Entries: e.sketch.Entries(),
+		Epoch: e.epoch, K: e.sketch.K(), Entries: e.sketch.SharedEntries(),
 	}}}
 }
 
@@ -125,7 +130,9 @@ func (e *Estimator) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope 
 		if m.Epoch != e.epoch {
 			return nil // stale or future epoch; ignore
 		}
-		reply := SketchReply{Epoch: e.epoch, K: e.sketch.K(), Entries: e.sketch.Entries()}
+		// Share-then-merge: the reply carries the pre-merge sketch, and
+		// the merge copy-on-writes, leaving the shared buffer frozen.
+		reply := SketchReply{Epoch: e.epoch, K: e.sketch.K(), Entries: e.sketch.SharedEntries()}
 		e.sketch.MergeEntries(m.Entries)
 		return []sim.Envelope{{To: from, Msg: reply}}
 	case SketchReply:

@@ -146,6 +146,11 @@ type KMV struct {
 	k       int
 	entries []KMVEntry // sorted ascending by Hash, no duplicate hashes
 	scratch []KMVEntry // recycled backing array for MergeEntries
+	// shared marks the entries backing array as referenced by an
+	// in-flight message payload (see SharedEntries): the next mutation
+	// must copy-on-write instead of editing or recycling it, so the
+	// published buffer stays frozen forever.
+	shared bool
 }
 
 // NewKMV creates a sketch retaining k minima. k trades accuracy
@@ -200,12 +205,26 @@ func (s *KMV) AddHashed(h uint64, value float64) {
 	if len(s.entries) == s.k && i == s.k {
 		return // larger than current maxima
 	}
+	s.ensureOwned()
 	s.entries = append(s.entries, KMVEntry{})
 	copy(s.entries[i+1:], s.entries[i:])
 	s.entries[i] = KMVEntry{Hash: h, Value: value}
 	if len(s.entries) > s.k {
 		s.entries = s.entries[:s.k]
 	}
+}
+
+// ensureOwned makes the entries array private again before a mutation:
+// if a message payload still references it, the sketch moves to a fresh
+// copy and leaves the published buffer untouched.
+func (s *KMV) ensureOwned() {
+	if !s.shared {
+		return
+	}
+	s.shared = false
+	fresh := make([]KMVEntry, len(s.entries), s.k+1)
+	copy(fresh, s.entries)
+	s.entries = fresh
 }
 
 // Merge folds another sketch into this one. Merging is commutative,
@@ -239,6 +258,12 @@ func (s *KMV) MergeEntries(entries []KMVEntry) {
 	// hashes. Once merged is full every remaining candidate on either
 	// side has a larger hash, so dropping the rests is exact.
 	merged := s.scratch[:0]
+	if cap(merged) == 0 {
+		// No recyclable scratch (the previous backing array left with a
+		// shared payload): size the buffer up front rather than paying
+		// append's growth ladder on every post-share merge.
+		merged = make([]KMVEntry, 0, s.k+1)
+	}
 	i, j := 0, 0
 	for len(merged) < s.k && (i < len(s.entries) || j < len(entries)) {
 		switch {
@@ -260,7 +285,15 @@ func (s *KMV) MergeEntries(entries []KMVEntry) {
 			j++
 		}
 	}
-	s.scratch = s.entries[:0] // recycle the old backing array
+	if s.shared {
+		// The outgoing array belongs to an in-flight payload now; it must
+		// not be recycled into the scratch buffer, where the next merge
+		// would overwrite it.
+		s.shared = false
+		s.scratch = nil
+	} else {
+		s.scratch = s.entries[:0] // recycle the old backing array
+	}
 	s.entries = merged
 }
 
@@ -269,6 +302,20 @@ func (s *KMV) Entries() []KMVEntry {
 	out := make([]KMVEntry, len(s.entries))
 	copy(out, s.entries)
 	return out
+}
+
+// SharedEntries returns the retained minima as a buffer shared with the
+// sketch itself: zero-copy, for use as an immutable message payload (the
+// exchange path sends the same ~4 KiB sketch to peers round after round,
+// and the per-envelope copy was a named scale ceiling). The caller must
+// treat the slice as frozen; the sketch copy-on-writes before its next
+// mutation, so the returned buffer never changes after this call.
+func (s *KMV) SharedEntries() []KMVEntry {
+	if len(s.entries) == 0 {
+		return nil
+	}
+	s.shared = true
+	return s.entries
 }
 
 // FromEntries rebuilds a sketch from wire entries.

@@ -370,3 +370,84 @@ func TestKMVMergeEntriesMatchesAddHashed(t *testing.T) {
 		}
 	}
 }
+
+// TestKMVSharedEntriesFrozen pins the payload-sharing contract on the
+// sketch side: a buffer published via SharedEntries must never change,
+// no matter what the sketch does afterwards — insertions and merges must
+// copy-on-write, and the buffer must not be recycled as merge scratch.
+func TestKMVSharedEntriesFrozen(t *testing.T) {
+	s := NewKMV(16)
+	for i := 0; i < 40; i++ {
+		s.Add(fmt.Sprintf("key-%d", i), 1, float64(i))
+	}
+	shared := s.SharedEntries()
+	frozen := append([]KMVEntry(nil), shared...)
+
+	// Mutation 1: single insert (COW in AddHashed).
+	s.Add("late-arrival", 1, 123)
+	// Mutation 2: sorted linear merge from another sketch.
+	o := NewKMV(16)
+	for i := 100; i < 140; i++ {
+		o.Add(fmt.Sprintf("other-%d", i), 1, float64(i))
+	}
+	s.MergeEntries(o.SharedEntries())
+	// Mutation 3: a second merge, which would reuse scratch — the shared
+	// buffer must not have become that scratch.
+	p := NewKMV(16)
+	for i := 200; i < 240; i++ {
+		p.Add(fmt.Sprintf("third-%d", i), 1, float64(i))
+	}
+	s.MergeEntries(p.SharedEntries())
+
+	for i := range frozen {
+		if shared[i] != frozen[i] {
+			t.Fatalf("shared buffer mutated at %d: %+v != %+v", i, shared[i], frozen[i])
+		}
+	}
+
+	// The sketch itself must still be correct: equal to a from-scratch
+	// union of everything it absorbed.
+	want := NewKMV(16)
+	for _, e := range frozen {
+		want.AddHashed(e.Hash, e.Value)
+	}
+	want.Add("late-arrival", 1, 123)
+	for _, e := range o.Entries() {
+		want.AddHashed(e.Hash, e.Value)
+	}
+	for _, e := range p.Entries() {
+		want.AddHashed(e.Hash, e.Value)
+	}
+	got, exp := s.Entries(), want.Entries()
+	if len(got) != len(exp) {
+		t.Fatalf("sketch diverged after COW: %d entries, want %d", len(got), len(exp))
+	}
+	for i := range exp {
+		if got[i] != exp[i] {
+			t.Fatalf("sketch diverged at %d: %+v != %+v", i, got[i], exp[i])
+		}
+	}
+}
+
+// TestKMVSharedEntriesZeroCopy proves the sharing is real (no hidden
+// copy) and that receivers' MergeEntries leaves the input untouched.
+func TestKMVSharedEntriesZeroCopy(t *testing.T) {
+	s := NewKMV(8)
+	for i := 0; i < 20; i++ {
+		s.Add(fmt.Sprintf("k%d", i), 0, float64(i))
+	}
+	a := s.SharedEntries()
+	b := s.SharedEntries()
+	if &a[0] != &b[0] {
+		t.Fatal("SharedEntries should return the same backing array while unchanged")
+	}
+	frozen := append([]KMVEntry(nil), a...)
+	recv := NewKMV(8)
+	recv.MergeEntries(a)
+	recv.MergeEntries(a) // idempotent second merge, exercises both paths
+	for i := range frozen {
+		if a[i] != frozen[i] {
+			t.Fatalf("receiver mutated the shared payload at %d", i)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Parallel compute phase of the two-phase executor. The design obligation
+// is bit-for-bit equivalence with the serial executor at every worker
+// count (the package doc spells out the argument); everything here is in
+// service of that: static node-to-worker ownership, per-node call order
+// preservation, and a commit pass that replays the serial emission order
+// against the shared fabric RNG.
+
+package sim
+
+import "sync"
+
+// workerPool is a set of long-lived goroutines reused across rounds: a
+// 10k-node run steps thousands of times, so per-round goroutine spawning
+// would dominate the phase barrier. Workers block on the jobs channel
+// between rounds and exit when it closes (Network.Close).
+type workerPool struct {
+	size int
+	jobs chan int // worker shard indices for the current round
+	wg   sync.WaitGroup
+}
+
+func newWorkerPool(n *Network, size int) *workerPool {
+	p := &workerPool{size: size, jobs: make(chan int, size)}
+	for i := 0; i < size; i++ {
+		go func() {
+			for w := range p.jobs {
+				n.computeShard(w)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes one compute phase: every shard is dispatched, then the
+// caller blocks until all workers finished. The channel send/receive
+// pairs give the necessary happens-before edges in both directions, so
+// workers observe the round's due slice and buffers, and the commit
+// phase observes every buffered envelope.
+func (p *workerPool) run() {
+	p.wg.Add(p.size)
+	for w := 0; w < p.size; w++ {
+		p.jobs <- w
+	}
+	p.wg.Wait()
+}
+
+func (p *workerPool) close() { close(p.jobs) }
+
+// owner maps a node to its compute worker. Ownership is static within a
+// round (and across rounds, population growth aside), which is what
+// guarantees a node's Handle calls and its Tick run on one goroutine, in
+// order.
+func ownerOf(nodeIndex, workers int) int { return nodeIndex % workers }
+
+// computeShard runs the compute phase for one worker's nodes: the due
+// deliveries targeting owned nodes in enqueue order (pre-bucketed into
+// n.shardDue[w], so a worker never scans other shards' deliveries), then
+// the owned alive nodes' ticks in ID order. Outputs are buffered (per
+// delivery index, per node index); nothing touches the fabric, the
+// shared RNG, or the Stats counters — that is the commit phase's job, in
+// canonical order.
+func (n *Network) computeShard(w int) {
+	workers := n.pool.size
+	round := n.round
+	for _, i := range n.shardDue[w] {
+		d := n.curDue[i]
+		st := n.nodes[int(d.to)-1]
+		if out := st.machine.Handle(round, d.from, d.msg); len(out) > 0 {
+			n.handleOut[i] = out
+		}
+	}
+	for ti := w; ti < len(n.nodes); ti += workers {
+		st := n.nodes[ti]
+		if !st.alive {
+			continue
+		}
+		if out := st.machine.Tick(round); len(out) > 0 {
+			n.tickOut[ti] = out
+		}
+	}
+}
+
+// stepParallel is the two-phase round: fan the compute out over the pool,
+// then merge the buffered emissions serially in the canonical order — due
+// deliveries in enqueue order, then nodes in ID order — drawing from the
+// fabric loss/delay RNG exactly as the serial executor would.
+func (n *Network) stepParallel(due []delivery) {
+	if n.pool == nil {
+		if n.poolClosed {
+			panic("sim: Step on a parallel Network after Close")
+		}
+		n.pool = newWorkerPool(n, n.cfg.Workers)
+	}
+	if cap(n.handleOut) < len(due) {
+		n.handleOut = make([][]Envelope, len(due))
+	} else {
+		n.handleOut = n.handleOut[:len(due)]
+	}
+	for len(n.tickOut) < len(n.nodes) {
+		n.tickOut = append(n.tickOut, nil)
+	}
+	// Bucket the due indices by owning worker in one serial pass (the
+	// buckets recycle their backing arrays round over round), so each
+	// worker walks only its own deliveries instead of filtering the whole
+	// due slice — dispatch stays O(deliveries), not O(workers×deliveries).
+	// Dead and never-spawned targets are filtered here; the commit pass
+	// below accounts for them.
+	if n.shardDue == nil {
+		n.shardDue = make([][]int32, n.cfg.Workers)
+	}
+	for w := range n.shardDue {
+		n.shardDue[w] = n.shardDue[w][:0]
+	}
+	for i, d := range due {
+		ti := int(d.to) - 1
+		if ti < 0 || ti >= len(n.nodes) || !n.nodes[ti].alive {
+			continue
+		}
+		w := ownerOf(ti, n.cfg.Workers)
+		n.shardDue[w] = append(n.shardDue[w], int32(i))
+	}
+	// Pre-warm the lazily rebuilt alive-ID cache: machines may read it
+	// (via samplers) from several workers at once, and the set is stable
+	// for the whole round, so materialise it before the fan-out.
+	n.AliveIDs()
+
+	n.curDue = due
+	n.pool.run()
+	n.curDue = nil
+
+	for i, d := range due {
+		envs := n.handleOut[i]
+		n.handleOut[i] = nil
+		st := n.state(d.to)
+		if st == nil || !st.alive {
+			n.Stats.LostDead.Inc()
+			continue
+		}
+		n.Stats.Delivered.Inc()
+		n.emit(d.to, envs)
+	}
+	for ti, st := range n.nodes {
+		envs := n.tickOut[ti]
+		n.tickOut[ti] = nil
+		if !st.alive {
+			continue
+		}
+		n.emit(st.id, envs)
+	}
+}

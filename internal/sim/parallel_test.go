@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"datadroplets/internal/node"
+)
+
+// TestParallelExecutorMatchesSerial is the executor-level half of the
+// worker-count equivalence obligation: the full transcript fixture —
+// churn, joins, 10% loss, delay jitter, per-node RNG consumption and the
+// fabric Stats — must hash identically at every worker count, because the
+// commit phase replays the exact serial emission order against the shared
+// fabric RNG.
+func TestParallelExecutorMatchesSerial(t *testing.T) {
+	ref := runTranscriptWorkers(9876, 1)
+	for _, w := range []int{2, 4, 8} {
+		if got := runTranscriptWorkers(9876, w); got != ref {
+			t.Fatalf("W=%d transcript %x differs from serial %x", w, got, ref)
+		}
+	}
+}
+
+// TestParallelDeliveryOrderPerNode checks the per-node ordering guarantee
+// directly: a node receiving many messages in one round must see them in
+// enqueue order, and its Tick must run after all of the round's Handles,
+// at every worker count.
+func TestParallelDeliveryOrderPerNode(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8} {
+		n := New(Config{Seed: 5, Workers: w})
+		sinks := make([]*echoMachine, 0, 8)
+		ids := n.SpawnN(8, func(id node.ID, rng *rand.Rand) Machine {
+			m := &echoMachine{id: id, rng: rng}
+			sinks = append(sinks, m)
+			return m
+		})
+		var envs []Envelope
+		for i := 0; i < 64; i++ {
+			envs = append(envs, Envelope{To: ids[i%len(ids)], Msg: i})
+		}
+		n.Emit(node.None, envs)
+		n.Step()
+		n.Close()
+		for si, m := range sinks {
+			if len(m.received) != 8 {
+				t.Fatalf("W=%d node %d received %d messages, want 8", w, si+1, len(m.received))
+			}
+			for j, got := range m.received {
+				want := fmt.Sprintf("r1 %s %d", node.None, si+j*len(ids))
+				if got != want {
+					t.Fatalf("W=%d node %d msg %d = %q, want %q (enqueue order violated)", w, si+1, j, got, want)
+				}
+			}
+			if m.ticks != 1 {
+				t.Fatalf("W=%d node %d ticked %d times", w, si+1, m.ticks)
+			}
+		}
+	}
+}
+
+// TestParallelStatsAccounting pins loss/dead accounting on the parallel
+// path: dead-target drops and link loss are counted in the commit phase
+// exactly as the serial executor counts them.
+func TestParallelStatsAccounting(t *testing.T) {
+	serialStats := func(workers int) (int64, int64, int64, int64) {
+		n := New(Config{Seed: 11, Loss: 0.3, Workers: workers})
+		defer n.Close()
+		ids := n.SpawnN(16, func(id node.ID, rng *rand.Rand) Machine {
+			return &echoMachine{id: id, rng: rng}
+		})
+		n.Kill(ids[3], false)
+		n.Kill(ids[7], true)
+		var envs []Envelope
+		for i := 0; i < 500; i++ {
+			envs = append(envs, Envelope{To: ids[i%len(ids)], Msg: i})
+		}
+		n.Emit(ids[0], envs)
+		n.Run(3)
+		return n.Stats.Sent.Value(), n.Stats.Delivered.Value(),
+			n.Stats.LostLink.Value(), n.Stats.LostDead.Value()
+	}
+	s1, d1, ll1, ld1 := serialStats(1)
+	if ld1 == 0 || ll1 == 0 {
+		t.Fatalf("fixture exercises no loss paths: lostLink=%d lostDead=%d", ll1, ld1)
+	}
+	for _, w := range []int{2, 8} {
+		s, d, ll, ld := serialStats(w)
+		if s != s1 || d != d1 || ll != ll1 || ld != ld1 {
+			t.Fatalf("W=%d stats (%d,%d,%d,%d) differ from serial (%d,%d,%d,%d)",
+				w, s, d, ll, ld, s1, d1, ll1, ld1)
+		}
+	}
+}
+
+// TestWorkerPoolReuseAndClose exercises the pool lifecycle: one pool
+// serves many rounds (including rounds added after churn grew the
+// population), and Close is idempotent.
+func TestWorkerPoolReuseAndClose(t *testing.T) {
+	n := New(Config{Seed: 2, Workers: 4})
+	n.SpawnN(10, func(id node.ID, rng *rand.Rand) Machine {
+		return &echoMachine{id: id, rng: rng}
+	})
+	n.Run(5)
+	pool := n.pool
+	if pool == nil {
+		t.Fatal("parallel network did not build its worker pool")
+	}
+	n.SpawnN(7, func(id node.ID, rng *rand.Rand) Machine {
+		return &echoMachine{id: id, rng: rng}
+	})
+	n.Run(5)
+	if n.pool != pool {
+		t.Fatal("worker pool was rebuilt instead of reused across rounds")
+	}
+	n.Close()
+	n.Close() // idempotent
+	if n.pool != nil {
+		t.Fatal("Close did not release the pool")
+	}
+}
+
+// TestStepAfterClosePanics pins the Close contract: a parallel network
+// must fail loudly instead of silently rebuilding (and leaking) a pool.
+func TestStepAfterClosePanics(t *testing.T) {
+	n := New(Config{Seed: 1, Workers: 2})
+	n.SpawnN(4, func(id node.ID, rng *rand.Rand) Machine {
+		return &echoMachine{id: id, rng: rng}
+	})
+	n.Run(2)
+	n.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step after Close did not panic")
+		}
+	}()
+	n.Step()
+}

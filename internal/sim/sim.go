@@ -5,11 +5,33 @@
 // 10^4–10^5 nodes — a scale that is exercised here in-process by driving
 // the same protocol state machines the live transport drives over TCP.
 //
-// Determinism contract: given the same Config.Seed and the same sequence
-// of API calls, a simulation produces byte-identical behaviour. All
-// randomness flows from seeded rand.Rand instances (one for the network,
-// one per node), nodes are iterated in ID order, and message delivery
-// preserves enqueue order within a round.
+// # Determinism contract
+//
+// Given the same Config.Seed and the same sequence of API calls, a
+// simulation produces byte-identical behaviour at every Config.Workers
+// setting. All randomness flows from seeded rand.Rand instances (one for
+// the network fabric, one per node).
+//
+// Each Step is a two-phase round:
+//
+//  1. Compute phase. Every due delivery is handled by its target machine
+//     (a node's deliveries in their enqueue order), then every alive
+//     machine ticks. With Workers > 1 the nodes are sharded across a
+//     reusable worker pool — each node is owned by exactly one worker,
+//     which runs all of the node's Handle calls (in enqueue order) before
+//     its Tick — and the produced envelopes are buffered per delivery and
+//     per node instead of entering the fabric immediately.
+//  2. Commit phase (always serial, always in canonical order). Buffered
+//     envelopes are merged into the fabric in exactly the serial
+//     executor's order — delivery-triggered emissions in the enqueue
+//     order of the triggering delivery, then tick emissions in node ID
+//     order — and the shared loss/delay RNG draws happen in that order.
+//     The message trace is therefore byte-identical for every worker
+//     count, which the golden digest tests enforce.
+//
+// The contract holds because machines are confined to their own node
+// (see Machine) and per-node RNG streams depend only on the order of
+// that node's own Handle/Tick calls, which sharding preserves.
 package sim
 
 import (
@@ -36,6 +58,19 @@ type Envelope struct {
 // and the live drivers. Implementations must not retain the returned
 // slices, must not start goroutines, and must take all randomness from the
 // rand.Rand they were constructed with.
+//
+// Confinement: during Tick and Handle a machine must not read or write
+// another node's mutable state — with Workers > 1 machines run
+// concurrently, and the determinism argument additionally needs every
+// node's behaviour to depend only on its own state plus the messages it
+// received. Allowed shared inputs are immutable data (message payloads —
+// which receivers must never mutate, see the payload-sharing notes in
+// gossip, sizeest and histogram — and population snapshots such as a
+// membership provider's ID list, which only changes between rounds) and
+// atomic metrics counters. Hooks a machine exposes (e.g. delivery or
+// hint callbacks) inherit the same restriction; cross-node observers
+// belong outside Step, after the round committed, as core's client
+// engine does with its deferred op-completion queue.
 type Machine interface {
 	// Start runs when the node boots: at spawn and again after each
 	// transient-failure recovery (the paper's "reboot" churn model).
@@ -57,6 +92,12 @@ type Config struct {
 	// MinDelay and MaxDelay bound per-message delivery delay in rounds.
 	// Zero values default to 1 (deliver next round).
 	MinDelay, MaxDelay int
+	// Workers is the number of compute-phase workers Step shards alive
+	// nodes across. 0 or 1 selects the serial executor; higher values run
+	// Handle/Tick concurrently with a byte-identical message trace (see
+	// the package determinism contract). Networks with Workers > 1 hold a
+	// goroutine pool; call Close when done with the network.
+	Workers int
 }
 
 func (c *Config) withDefaults() Config {
@@ -66,6 +107,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.MaxDelay < out.MinDelay {
 		out.MaxDelay = out.MinDelay
+	}
+	if out.Workers < 1 {
+		out.Workers = 1
 	}
 	return out
 }
@@ -112,6 +156,18 @@ type Network struct {
 
 	aliveCache []node.ID // sorted alive IDs; nil when invalidated
 	aliveCount int
+
+	// Parallel compute-phase state (see parallel.go). The pool is built
+	// lazily on the first parallel Step and reused for every later round;
+	// the out-buffers are recycled across rounds (entries are nilled as
+	// the commit phase consumes them, capacity is kept).
+	pool       *workerPool
+	poolClosed bool // Close ran: a parallel Step must not revive the pool
+
+	curDue    []delivery   // the round's due slice, visible to workers
+	shardDue  [][]int32    // per-worker due indices, recycled each round
+	handleOut [][]Envelope // per-delivery Handle output, index = due index
+	tickOut   [][]Envelope // per-node Tick output, index = id-1
 
 	// Stats is the fabric accounting for this run.
 	Stats Stats
@@ -264,13 +320,34 @@ func (n *Network) emit(from node.ID, envs []Envelope) {
 }
 
 // Step advances the simulation one round: deliver everything due this
-// round (in enqueue order), then tick every alive node in ID order.
+// round (in enqueue order), then tick every alive node in ID order. With
+// Workers > 1 the Handle/Tick calls run on the worker pool and their
+// emissions are committed afterwards in exactly the serial order, so the
+// trace is byte-identical either way (see the package doc).
 func (n *Network) Step() {
 	n.round++
 	slot := int(uint64(n.round) % uint64(len(n.queue)))
 	due := n.queue[slot]
 	n.queue[slot] = nil
 	n.inFlight -= len(due)
+	if n.cfg.Workers > 1 && len(n.nodes) > 0 {
+		n.stepParallel(due)
+	} else {
+		n.stepSerial(due)
+	}
+	if due != nil {
+		// Recycle the drained slice: clear payload references so message
+		// bodies are collectable, keep the capacity for future rounds.
+		for i := range due {
+			due[i] = delivery{}
+		}
+		n.free = append(n.free, due[:0])
+	}
+}
+
+// stepSerial is the single-threaded executor: compute and commit are
+// interleaved (each Handle/Tick's emissions enter the fabric immediately).
+func (n *Network) stepSerial(due []delivery) {
 	for _, d := range due {
 		st := n.state(d.to)
 		if st == nil || !st.alive {
@@ -285,14 +362,18 @@ func (n *Network) Step() {
 			n.emit(st.id, st.machine.Tick(n.round))
 		}
 	}
-	if due != nil {
-		// Recycle the drained slice: clear payload references so message
-		// bodies are collectable, keep the capacity for future rounds.
-		for i := range due {
-			due[i] = delivery{}
-		}
-		n.free = append(n.free, due[:0])
+}
+
+// Close releases the worker pool of a parallel network. It is a no-op for
+// serial networks and is safe to call more than once; stepping a parallel
+// network after Close panics (silently rebuilding the pool would leak the
+// goroutines the caller just released).
+func (n *Network) Close() {
+	if n.pool != nil {
+		n.pool.close()
+		n.pool = nil
 	}
+	n.poolClosed = true
 }
 
 // Run advances the simulation by the given number of rounds.

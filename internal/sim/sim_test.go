@@ -233,8 +233,11 @@ func (m *transcriptMachine) Handle(now Round, from node.ID, msg any) []Envelope 
 	return nil
 }
 
-func runTranscript(seed int64) uint64 {
-	n := New(Config{Seed: seed, Loss: 0.1, MinDelay: 1, MaxDelay: 3})
+func runTranscript(seed int64) uint64 { return runTranscriptWorkers(seed, 1) }
+
+func runTranscriptWorkers(seed int64, workers int) uint64 {
+	n := New(Config{Seed: seed, Loss: 0.1, MinDelay: 1, MaxDelay: 3, Workers: workers})
+	defer n.Close()
 	machines := make([]*transcriptMachine, 0, 50)
 	ids := n.SpawnN(50, func(id node.ID, rng *rand.Rand) Machine {
 		m := &transcriptMachine{id: id, rng: rng}
@@ -262,6 +265,15 @@ func runTranscript(seed int64) uint64 {
 	var h uint64 = 14695981039346656037
 	for _, m := range machines {
 		h = (h ^ m.hash) * 0x100000001b3
+	}
+	// Fold the fabric accounting in too: the parallel-equivalence tests
+	// must see identical loss/delivery behaviour, not only machine state.
+	for _, v := range []int64{
+		n.Stats.Sent.Value(), n.Stats.Delivered.Value(),
+		n.Stats.LostLink.Value(), n.Stats.LostDead.Value(),
+		int64(n.InFlight()),
+	} {
+		h = (h ^ uint64(v)) * 0x100000001b3
 	}
 	return h
 }

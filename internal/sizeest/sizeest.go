@@ -32,6 +32,13 @@ type Config struct {
 }
 
 // Messages.
+//
+// Mins is an immutable shared buffer: the sender hands the same ~1 KiB
+// snapshot to every envelope it emits until its vector next changes, so
+// receivers (and any other reader) must never mutate it — merge reads it
+// element-wise and writes only the local vector. The sender
+// copy-on-writes before its next change, so the buffer is frozen from
+// the moment it is shared.
 type (
 	// VectorPush carries the sender's current minima; receiver merges
 	// and replies (push-pull).
@@ -64,6 +71,13 @@ type Estimator struct {
 	// incrementally), so cached and uncached reads are bit-identical.
 	rawCache float64
 	rawDirty bool
+
+	// snap is the immutable outbound payload buffer: a copy of mins
+	// shared by every envelope sent since the vector last changed. It is
+	// written once (at creation) and then only read — in-flight messages
+	// may still reference it, so a change to mins allocates a fresh
+	// snapshot rather than rewriting this one.
+	snap []float64
 }
 
 var _ sim.Machine = (*Estimator)(nil)
@@ -99,6 +113,7 @@ func (e *Estimator) reseed(epoch uint64) {
 		e.mins[i] = e.rng.ExpFloat64()
 	}
 	e.rawDirty = true
+	e.snap = nil
 }
 
 // Start implements sim.Machine.
@@ -116,7 +131,7 @@ func (e *Estimator) Tick(now sim.Round) []sim.Envelope {
 	if peer == node.None {
 		return nil
 	}
-	return []sim.Envelope{{To: peer, Msg: VectorPush{Epoch: e.epoch, Mins: e.copyMins()}}}
+	return []sim.Envelope{{To: peer, Msg: VectorPush{Epoch: e.epoch, Mins: e.shareMins()}}}
 }
 
 // Handle implements sim.Machine.
@@ -126,7 +141,10 @@ func (e *Estimator) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope 
 		if m.Epoch != e.epoch {
 			return nil
 		}
-		reply := VectorReply{Epoch: e.epoch, Mins: e.copyMins()}
+		// Snapshot before the merge: the reply advertises the pre-merge
+		// vector (as the copying implementation did), and merge cannot
+		// touch the snapshot — it writes only mins.
+		reply := VectorReply{Epoch: e.epoch, Mins: e.shareMins()}
 		e.merge(m.Mins)
 		return []sim.Envelope{{To: from, Msg: reply}}
 	case VectorReply:
@@ -137,23 +155,37 @@ func (e *Estimator) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope 
 	return nil
 }
 
+// merge folds a received vector into the local minima. It must not write
+// to other: the slice is the sender's shared payload buffer.
 func (e *Estimator) merge(other []float64) {
 	n := len(e.mins)
 	if len(other) < n {
 		n = len(other)
 	}
+	changed := false
 	for i := 0; i < n; i++ {
 		if other[i] < e.mins[i] {
 			e.mins[i] = other[i]
-			e.rawDirty = true
+			changed = true
 		}
+	}
+	if changed {
+		e.rawDirty = true
+		e.snap = nil // in-flight messages keep the old snapshot
 	}
 }
 
-func (e *Estimator) copyMins() []float64 {
-	out := make([]float64, len(e.mins))
-	copy(out, e.mins)
-	return out
+// shareMins returns the current outbound payload buffer, refreshing it
+// only when the vector changed since the last send. Every envelope
+// emitted between changes shares one buffer instead of copying the ~1 KiB
+// vector per message — the per-round payload-copy cost the scale roadmap
+// called out.
+func (e *Estimator) shareMins() []float64 {
+	if e.snap == nil {
+		e.snap = make([]float64, len(e.mins))
+		copy(e.snap, e.mins)
+	}
+	return e.snap
 }
 
 // rawEstimate computes (K-1)/Σmins over the working vector, re-summing

@@ -136,9 +136,9 @@ func TestMergeShorterVectorDoesNotPanic(t *testing.T) {
 func TestStaleEpochIgnored(t *testing.T) {
 	e := New(1, rand.New(rand.NewSource(1)), nil, Config{K: 8, EpochLen: 10})
 	e.Start(0)
-	before := e.copyMins()
+	before := append([]float64(nil), e.mins...)
 	e.Handle(1, 2, VectorPush{Epoch: 99, Mins: []float64{0, 0, 0, 0, 0, 0, 0, 0}})
-	after := e.copyMins()
+	after := append([]float64(nil), e.mins...)
 	for i := range before {
 		if before[i] != after[i] {
 			t.Fatal("stale epoch vector was merged")
@@ -167,5 +167,79 @@ func TestEstimatorAccuracyScalesWithK(t *testing.T) {
 	small, large := errAtK(16), errAtK(256)
 	if large > small {
 		t.Fatalf("error did not shrink with K: K=16 → %v, K=256 → %v", small, large)
+	}
+}
+
+// TestSharedPushBufferIsFrozen pins the payload-sharing contract: the
+// Mins buffer a push or reply carries must never change after it leaves
+// the sender — not when the receiver merges it, and not when the sender's
+// own vector later changes (the sender must copy-on-write instead).
+func TestSharedPushBufferIsFrozen(t *testing.T) {
+	rngA := rand.New(rand.NewSource(1))
+	rngB := rand.New(rand.NewSource(2))
+	pop := []node.ID{1, 2}
+	provider := func() []node.ID { return pop }
+	a := New(1, rngA, membership.NewUniformView(1, rngA, provider), Config{K: 32, EpochLen: 1000})
+	b := New(2, rngB, membership.NewUniformView(2, rngB, provider), Config{K: 32, EpochLen: 1000})
+	a.Start(0)
+	b.Start(0)
+
+	envs := a.Tick(1)
+	if len(envs) != 1 {
+		t.Fatalf("tick emitted %d envelopes, want 1", len(envs))
+	}
+	push := envs[0].Msg.(VectorPush)
+	frozen := append([]float64(nil), push.Mins...)
+
+	// Receiver merges the shared buffer and replies.
+	replies := b.Handle(1, 1, push)
+	if got := push.Mins; len(got) != len(frozen) {
+		t.Fatalf("receiver changed the shared buffer length")
+	}
+	for i := range frozen {
+		if push.Mins[i] != frozen[i] {
+			t.Fatalf("receiver mutated shared buffer at %d: %v != %v", i, push.Mins[i], frozen[i])
+		}
+	}
+
+	// Sender merges the reply (its vector changes: b holds smaller minima
+	// with overwhelming probability) — the published buffer must survive
+	// via copy-on-write.
+	if len(replies) != 1 {
+		t.Fatalf("receiver sent %d replies, want 1", len(replies))
+	}
+	a.Handle(2, 2, replies[0].Msg.(VectorReply))
+	a.reseed(99) // strongest mutation: full vector redraw
+	for i := range frozen {
+		if push.Mins[i] != frozen[i] {
+			t.Fatalf("sender mutated in-flight buffer at %d after merge/reseed", i)
+		}
+	}
+}
+
+// TestSharedPushBufferIsReused proves the optimisation is real: while the
+// vector does not change, successive sends share one backing array
+// instead of copying ~1 KiB per envelope.
+func TestSharedPushBufferIsReused(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pop := []node.ID{1, 2}
+	provider := func() []node.ID { return pop }
+	e := New(1, rng, membership.NewUniformView(1, rng, provider), Config{K: 16, EpochLen: 1000})
+	e.Start(0)
+	m1 := e.Tick(1)[0].Msg.(VectorPush).Mins
+	m2 := e.Tick(2)[0].Msg.(VectorPush).Mins
+	if &m1[0] != &m2[0] {
+		t.Fatal("unchanged vector should share one payload buffer across sends")
+	}
+	// A merge that lowers a minimum must retire the shared buffer.
+	lower := append([]float64(nil), m1...)
+	lower[0] = 0
+	e.Handle(3, 2, VectorReply{Epoch: e.epoch, Mins: lower})
+	m3 := e.Tick(4)[0].Msg.(VectorPush).Mins
+	if &m1[0] == &m3[0] {
+		t.Fatal("vector change must allocate a fresh payload buffer")
+	}
+	if m1[0] == 0 {
+		t.Fatal("vector change leaked into the previously shared buffer")
 	}
 }
