@@ -9,11 +9,16 @@
 //	ddbench -run C8 -scale 1 -seed 7       # full-scale churn comparison
 //	ddbench -run C1,C2,C3 -csv out/        # dissemination suite + CSVs
 //	ddbench -run throughput -json BENCH_throughput.json
+//	ddbench -run scenarios -scenario split-brain -workers 1,4
 //	ddbench -list
 //
 // Besides the experiment IDs, -run throughput sweeps the pipelined
 // client engine over several in-flight window sizes and prints
-// ops/round and ops/sec (optionally as JSON via -json).
+// ops/round and ops/sec, -run simscale benchmarks the fabric at paper
+// scale, and -run scenarios drives the fault-scenario suite (partition,
+// flap storm, mass crash, slow nodes, latency spike) measuring
+// availability, staleness and rounds-to-convergence per scenario
+// (optionally as JSON via -json).
 package main
 
 import (
@@ -30,13 +35,14 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "comma-separated experiment IDs, 'all', or 'throughput'")
-		scale   = flag.Float64("scale", 0.25, "population/trial scale (1.0 = paper scale)")
-		seed    = flag.Int64("seed", 42, "random seed")
-		csv     = flag.String("csv", "", "directory to write per-table CSV files (optional)")
-		jsonOut = flag.String("json", "", "file to write the selected run's report as JSON (with -run throughput or -run simscale)")
-		workers = flag.String("workers", "1", "comma-separated fabric worker counts to sweep (with -run simscale)")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		run      = flag.String("run", "all", "comma-separated experiment IDs, 'all', 'throughput', 'simscale', or 'scenarios'")
+		scale    = flag.Float64("scale", 0.25, "population/trial scale (1.0 = paper scale)")
+		seed     = flag.Int64("seed", 42, "random seed")
+		csv      = flag.String("csv", "", "directory to write per-table CSV files (optional)")
+		jsonOut  = flag.String("json", "", "file to write the selected run's report as JSON (with -run throughput, simscale or scenarios)")
+		workers  = flag.String("workers", "1", "comma-separated fabric worker counts to sweep (with -run simscale or scenarios)")
+		scenario = flag.String("scenario", "all", "scenario name(s) for -run scenarios (comma-separated, or 'all')")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
 
@@ -46,6 +52,10 @@ func main() {
 		}
 		fmt.Println("throughput")
 		fmt.Println("simscale")
+		fmt.Println("scenarios")
+		for _, name := range experiments.ScenarioNames() {
+			fmt.Printf("scenarios -scenario %s\n", name)
+		}
 		return
 	}
 
@@ -64,6 +74,19 @@ func main() {
 			os.Exit(2)
 		}
 		if err := runSimScale(*seed, *scale, *jsonOut, ws); err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *run == "scenarios" {
+		ws, err := parseWorkers(*workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: -workers: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runScenarios(*seed, *scale, *scenario, *jsonOut, ws); err != nil {
 			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
 			os.Exit(1)
 		}

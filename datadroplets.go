@@ -53,6 +53,7 @@ import (
 	"datadroplets/internal/core"
 	"datadroplets/internal/epidemic"
 	"datadroplets/internal/node"
+	"datadroplets/internal/sim"
 	"datadroplets/internal/tuple"
 )
 
@@ -172,7 +173,8 @@ func WithWriteAcks(n int) Option {
 
 // Cluster is an in-process DataDroplets deployment.
 type Cluster struct {
-	inner *core.Cluster
+	inner  *core.Cluster
+	faults *Faults
 }
 
 // New builds and boots a cluster. Call Advance(≈20) before the first
@@ -316,6 +318,118 @@ func (c *Cluster) BatchPut(ops []PutOp) []error {
 		errs[i] = r.Err
 	}
 	return errs
+}
+
+// Faults is the cluster's deterministic fault schedule: scheduled
+// partitions, slow nodes, latency spikes, member flapping and
+// correlated crashes, applied to the persistent layer's fabric while
+// client operations keep running. All schedule randomness derives from
+// the cluster seed, so a faulted run is exactly reproducible — and
+// byte-identical at every WithWorkers setting.
+//
+// Rounds are relative to the cluster's current round at the time the
+// fault is added: start=0 means "starting now", and each fault stays
+// active for length rounds. Node arguments are persistent-node indices
+// (the same indexing KillNode uses).
+type Faults struct {
+	c  *Cluster
+	sc *sim.Scenario
+}
+
+// Faults returns the cluster's fault schedule, installing it on first
+// use. One-shot kills remain available directly via KillNode/ReviveNode.
+func (c *Cluster) Faults() *Faults {
+	if c.faults == nil {
+		sc := sim.NewScenario(c.inner.Seed() ^ 0x0fa7157eed)
+		c.inner.SetScenario(sc)
+		c.faults = &Faults{c: c, sc: sc}
+	}
+	return c.faults
+}
+
+// ids maps persistent-node indices to fabric node IDs, skipping
+// out-of-range indices.
+func (f *Faults) ids(indices []int) []NodeID {
+	all := f.c.inner.PersistentIDs()
+	out := make([]NodeID, 0, len(indices))
+	for _, i := range indices {
+		if i >= 0 && i < len(all) {
+			out = append(out, all[i])
+		}
+	}
+	return out
+}
+
+func (f *Faults) window(start, length int) (sim.Round, sim.Round) {
+	s := f.c.inner.Net.Round() + sim.Round(start)
+	return s, s + sim.Round(length)
+}
+
+// msgWindow is window shifted for per-message faults: the fabric
+// filters in-step traffic at the already-incremented round (see the
+// sim package's window-clock note), so covering length full simulation
+// steps needs one extra end round.
+func (f *Faults) msgWindow(start, length int) (sim.Round, sim.Round) {
+	s, e := f.window(start, length)
+	return s, e + 1
+}
+
+// Partition splits the deployment for length rounds: traffic between
+// different groups is dropped, then the partition heals. Nodes not
+// listed in any group — including every soft-state (client-facing)
+// node — share the implicit group 0. Partition(0, 50, farSide) is
+// therefore the canonical split-brain as seen from this cluster's
+// clients: the listed persistent nodes keep talking among themselves
+// but are unreachable from the soft layer and the remaining persistent
+// nodes until the heal. Listing several groups additionally cuts the
+// listed sides off from each other.
+func (f *Faults) Partition(start, length int, groups ...[]int) *Faults {
+	s, e := f.msgWindow(start, length)
+	idGroups := make([][]NodeID, len(groups))
+	for i, g := range groups {
+		idGroups[i] = f.ids(g)
+	}
+	f.sc.AddPartition("partition", s, e, idGroups...)
+	return f
+}
+
+// SlowNodes degrades the listed nodes for length rounds: every message
+// to or from them is dropped with probability loss and delayed by
+// extraDelay additional rounds.
+func (f *Faults) SlowNodes(start, length, extraDelay int, loss float64, indices ...int) *Faults {
+	s, e := f.msgWindow(start, length)
+	for _, id := range f.ids(indices) {
+		f.sc.AddSlowNode("slow-node", s, e, id, loss, extraDelay, 0)
+	}
+	return f
+}
+
+// LatencySpike delays every message by extraDelay plus uniform jitter
+// in [0, jitter] rounds for length rounds.
+func (f *Faults) LatencySpike(start, length, extraDelay, jitter int) *Faults {
+	s, e := f.msgWindow(start, length)
+	f.sc.AddLatencySpike("latency-spike", s, e, extraDelay, jitter, 0)
+	return f
+}
+
+// Flap cycles the listed nodes down and up for length rounds: down for
+// downFor rounds at the start of every period. Everyone is revived when
+// the window closes.
+func (f *Faults) Flap(start, length, period, downFor int, indices ...int) *Faults {
+	s, e := f.window(start, length)
+	f.sc.AddFlap("flap", s, e, period, downFor, f.ids(indices)...)
+	return f
+}
+
+// MassCrash fails the given fraction of then-alive persistent nodes
+// simultaneously `start` rounds from now (transiently — durable state
+// survives); the cohort revives together reviveAfter rounds later. The
+// soft (client-facing) layer is never in the cohort, keeping the
+// Faults contract that client operations continue during faults.
+func (f *Faults) MassCrash(start int, fraction float64, reviveAfter int) *Faults {
+	at, _ := f.window(start, 0)
+	f.sc.AddMassCrashIn("mass-crash", at, f.c.inner.PersistentIDs(), fraction, false, reviveAfter)
+	return f
 }
 
 // KillNode takes a persistent node down (transient when permanent is

@@ -1,0 +1,124 @@
+package datadroplets
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFaultsPartitionCutsClientsThenHeals drives the canonical public
+// fault demo: isolating the whole persistent layer from the soft
+// (client) layer makes operations time out, and after the scheduled
+// heal the previously written data is readable again — no restart, no
+// manual repair.
+func TestFaultsPartitionCutsClientsThenHeals(t *testing.T) {
+	c := New(WithNodes(24), WithSoftNodes(2), WithReplication(3), WithSeed(11), WithFanoutC(3))
+	defer c.Close()
+	c.Advance(15)
+	if err := c.Put("k", []byte("v"), nil, nil); err != nil {
+		t.Fatalf("Put before fault: %v", err)
+	}
+
+	all := make([]int, 24)
+	for i := range all {
+		all[i] = i
+	}
+	const cut = 250
+	c.Faults().Partition(0, cut, all)
+
+	// The soft layer's tuple cache still answers reads for hot keys — a
+	// partition-masking behaviour worth keeping — so wipe the soft state
+	// to force the read across the (cut) network.
+	c.WipeSoftLayer()
+	if _, err := c.Get("k"); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Get during full persistent-layer partition: err = %v, want ErrTimeout", err)
+	}
+	if err := c.Put("k2", []byte("v2"), nil, nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Put during partition: err = %v, want ErrTimeout", err)
+	}
+
+	// Burn whatever remains of the fault window (the timed-out operations
+	// above already advanced the fabric), then operate normally.
+	c.Advance(cut)
+	got, err := c.Get("k")
+	if err != nil || string(got.Value) != "v" {
+		t.Fatalf("Get after heal = %v, %v", got, err)
+	}
+	if err := c.Put("k2", []byte("v2"), nil, nil); err != nil {
+		t.Fatalf("Put after heal: %v", err)
+	}
+}
+
+// TestFaultsFlapAndMassCrashRestoreMembership checks the node-state
+// fault family end to end through the public facade: a flap window and
+// a 50% correlated crash both leave the cluster whole again after their
+// schedules run out.
+func TestFaultsFlapAndMassCrashRestoreMembership(t *testing.T) {
+	c := New(WithNodes(20), WithReplication(3), WithSeed(12), WithFanoutC(3))
+	defer c.Close()
+	c.Advance(10)
+	full := c.Nodes()
+
+	c.Faults().Flap(0, 12, 4, 2, 0, 1, 2).MassCrash(20, 0.5, 8)
+
+	sawFlapDown, sawCrashDown := false, false
+	for i := 0; i < 40; i++ {
+		c.Step()
+		n := c.Nodes()
+		if i < 14 && n <= full-3 {
+			sawFlapDown = true
+		}
+		if i >= 20 && n <= full/2+1 {
+			sawCrashDown = true
+		}
+	}
+	if !sawFlapDown {
+		t.Fatal("flap window never took the flapped nodes down")
+	}
+	if !sawCrashDown {
+		t.Fatal("mass crash never took half the cluster down")
+	}
+	if c.Nodes() != full {
+		t.Fatalf("alive = %d after all schedules closed, want %d", c.Nodes(), full)
+	}
+}
+
+// TestFaultsDeterministicAcrossWorkers pins the public determinism
+// promise: the same faulted workload produces identical results and
+// round counts at every WithWorkers setting.
+func TestFaultsDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) (string, int) {
+		c := New(WithNodes(24), WithSoftNodes(2), WithReplication(3), WithSeed(13),
+			WithFanoutC(3), WithWorkers(workers))
+		defer c.Close()
+		c.Advance(15)
+		c.Faults().
+			LatencySpike(5, 10, 1, 1).
+			SlowNodes(0, 30, 2, 0.3, 3, 7).
+			MassCrash(12, 0.25, 10)
+		out := ""
+		for i := 0; i < 12; i++ {
+			key := "wk-" + string(rune('a'+i))
+			if err := c.Put(key, []byte{byte(i)}, nil, nil); err != nil {
+				out += "E"
+			} else {
+				out += "."
+			}
+		}
+		c.Advance(30)
+		for i := 0; i < 12; i++ {
+			key := "wk-" + string(rune('a'+i))
+			if tp, err := c.Get(key); err == nil && len(tp.Value) == 1 && tp.Value[0] == byte(i) {
+				out += "r"
+			} else {
+				out += "x"
+			}
+		}
+		return out, c.Round()
+	}
+	trace1, rounds1 := run(1)
+	trace4, rounds4 := run(4)
+	if trace1 != trace4 || rounds1 != rounds4 {
+		t.Fatalf("faulted run diverged across workers:\n W=1: %s (%d rounds)\n W=4: %s (%d rounds)",
+			trace1, rounds1, trace4, rounds4)
+	}
+}

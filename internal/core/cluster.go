@@ -86,6 +86,10 @@ type Cluster struct {
 	// deadline among them (WaitAll's termination bound).
 	inflight    map[uint64]*Pending
 	maxDeadline sim.Round
+
+	// scenario, when installed, is the fault schedule stepped before
+	// every fabric round (see SetScenario).
+	scenario *sim.Scenario
 }
 
 // Errors returned by the synchronous client helpers.
@@ -197,11 +201,32 @@ func (c *Cluster) Aggregate(attr string) (epidemic.AggResp, error) {
 	return p.Agg(), p.Err()
 }
 
+// SetScenario installs a fault schedule: it is attached to the fabric's
+// fault hook and stepped once before every engine-driven round, so
+// node-state events (flaps, mass crashes) fire on schedule no matter
+// which client path advances the cluster. Passing nil detaches the
+// current scenario.
+func (c *Cluster) SetScenario(s *sim.Scenario) {
+	c.scenario = s
+	if s != nil {
+		s.Attach(c.Net)
+	} else {
+		c.Net.SetFault(nil)
+	}
+}
+
+// Seed returns the deployment's configured random seed (fault schedules
+// derive their own streams from it).
+func (c *Cluster) Seed() int64 { return c.cfg.Seed }
+
 // Step advances the whole deployment one round and resolves any async
 // op handles that completed during it. External drivers must step the
 // cluster through here (not Net.Step directly), or completions stay
 // queued on their soft nodes until the next engine-driven round.
 func (c *Cluster) Step() {
+	if c.scenario != nil {
+		c.scenario.Step()
+	}
 	c.Net.Step()
 	c.reap()
 }

@@ -1,0 +1,532 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"datadroplets/internal/epidemic"
+	"datadroplets/internal/membership"
+	"datadroplets/internal/node"
+	"datadroplets/internal/repair"
+	"datadroplets/internal/sim"
+	"datadroplets/internal/tuple"
+)
+
+// The fault-scenario suite: each scenario subjects a persistent-layer
+// cluster to one of the correlated failure modes the paper's
+// dependability claims are about, while a write workload keeps running,
+// and measures the dependability envelope — availability and staleness
+// during the fault, and rounds to convergence after it heals. Every run
+// is seed-deterministic and digest-stable across worker counts (the
+// fault schedule executes in the fabric's serial commit phase), which
+// the CI scenario matrix enforces.
+
+// Scenario names, in catalogue order.
+const (
+	ScenarioSplitBrain   = "split-brain"
+	ScenarioFlapStorm    = "flap-storm"
+	ScenarioMassCrash    = "mass-crash"
+	ScenarioSlowNode     = "slow-node"
+	ScenarioLatencySpike = "latency-spike"
+)
+
+// scenarioCatalog describes the suite; defaultFaultRounds is the fault
+// window each scenario measures under.
+var scenarioCatalog = []struct {
+	name        string
+	desc        string
+	faultRounds int
+}{
+	{ScenarioSplitBrain, "60/40 network partition; writes land on both sides; heal and converge", 40},
+	{ScenarioFlapStorm, "10% of members flap (down 3 of every 8 rounds) for the whole window", 48},
+	{ScenarioMassCrash, "30% of members crash simultaneously, revive together 20 rounds later", 30},
+	{ScenarioSlowNode, "5% of members turn slow and lossy (+3 rounds delay, 15% loss)", 40},
+	{ScenarioLatencySpike, "global latency surge: every message +2..4 rounds of delay", 20},
+}
+
+// ScenarioNames returns the suite's scenario names in catalogue order.
+func ScenarioNames() []string {
+	out := make([]string, len(scenarioCatalog))
+	for i, s := range scenarioCatalog {
+		out[i] = s.name
+	}
+	return out
+}
+
+// ScenarioDescription returns the one-line description of a scenario.
+func ScenarioDescription(name string) string {
+	for _, s := range scenarioCatalog {
+		if s.name == name {
+			return s.desc
+		}
+	}
+	return ""
+}
+
+// ScenarioConfig parameterises one scenario run. Zero values select the
+// defaults, which target a few-hundred-node cluster so the full suite
+// stays in benchmark (not batch-job) territory; Scale in ddbench shrinks
+// it further for CI.
+type ScenarioConfig struct {
+	// Name selects the scenario (see ScenarioNames).
+	Name string
+	// Nodes is the persistent-layer population. Zero means 240.
+	Nodes int
+	// Keys is the preloaded key-space size. Zero means 4*Nodes.
+	Keys int
+	// WritesPerRound is the sustained write load during the fault window.
+	// Zero means 8.
+	WritesPerRound int
+	// Seed feeds the fabric, the machines, the workload and the fault
+	// schedule.
+	Seed int64
+	// Workers shards the fabric compute phase; the digest is identical
+	// at every setting.
+	Workers int
+	// Replication is the target copy count r. Zero means 3.
+	Replication int
+	// Warmup rounds let estimators settle before the preload. Zero
+	// means 30.
+	Warmup int
+	// FaultRounds overrides the scenario's fault-window length.
+	FaultRounds int
+	// MaxRecovery bounds the post-fault convergence wait. Zero means 600
+	// (the slow-node tail needs several hundred rounds of periodic range
+	// sync to clear its last stale keeper copies).
+	MaxRecovery int
+}
+
+func (c ScenarioConfig) normalized() (ScenarioConfig, error) {
+	if c.Name == "" {
+		return c, fmt.Errorf("experiments: scenario name required (have %s)", strings.Join(ScenarioNames(), ", "))
+	}
+	found := false
+	for _, s := range scenarioCatalog {
+		if s.name == c.Name {
+			found = true
+			if c.FaultRounds <= 0 {
+				c.FaultRounds = s.faultRounds
+			}
+		}
+	}
+	if !found {
+		return c, fmt.Errorf("experiments: unknown scenario %q (have %s)", c.Name, strings.Join(ScenarioNames(), ", "))
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 240
+	}
+	if c.Keys <= 0 {
+		c.Keys = 4 * c.Nodes
+	}
+	if c.WritesPerRound <= 0 {
+		c.WritesPerRound = 8
+	}
+	if c.Replication <= 0 {
+		c.Replication = 3
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 30
+	}
+	if c.MaxRecovery <= 0 {
+		c.MaxRecovery = 600
+	}
+	return c, nil
+}
+
+// ScenarioResult reports one scenario run. The availability metrics are
+// oracle-style (computed by inspecting every alive store between rounds,
+// never by sending messages, so measurement cannot perturb the trace):
+// a key is "available" when at least one alive node holds a live copy,
+// and "fresh" when at least one alive node holds its latest written
+// version.
+type ScenarioResult struct {
+	Scenario string `json:"scenario"`
+	Nodes    int    `json:"nodes"`
+	Keys     int    `json:"keys"`
+	Workers  int    `json:"workers"`
+	Seed     int64  `json:"seed"`
+	Rounds   int    `json:"rounds"` // total rounds stepped
+
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+
+	// Mean over the fault window of the fraction of keys with ≥1 alive
+	// live copy / with the latest version reachable.
+	AvailAny   float64 `json:"availability_any"`
+	AvailFresh float64 `json:"availability_fresh"`
+	// Mean fraction of live copies holding an outdated version during
+	// the fault window (write divergence, bystander retentions included),
+	// the keeper-only subset (responsible replicas serving old data —
+	// repair's actual debt), and the overall fraction at the round the
+	// window ends.
+	StaleCopies         float64 `json:"stale_copies"`
+	StaleKeepers        float64 `json:"stale_keeper_copies"`
+	StalenessAtFaultEnd float64 `json:"staleness_at_fault_end"`
+	// Rounds after the fault window until every key was fresh-available
+	// with zero stale copies (-1 if MaxRecovery elapsed first).
+	RoundsToConverge int  `json:"rounds_to_converge"`
+	Converged        bool `json:"converged"`
+	// Mean alive replicas per key once converged (or at the recovery
+	// cap).
+	MeanReplicasEnd float64 `json:"mean_replicas_end"`
+
+	Sent      int64 `json:"sent"`
+	Delivered int64 `json:"delivered"`
+	LostLink  int64 `json:"lost_link"`
+	LostDead  int64 `json:"lost_dead"`
+	LostFault int64 `json:"lost_fault"`
+	AliveEnd  int   `json:"alive_end"`
+
+	StoreDigest uint64 `json:"-"`
+}
+
+// Digest folds the run's observable behaviour — fabric accounting, fault
+// drops, every node's store content, and the dependability metrics —
+// into one value; equal configs must reproduce it bit for bit at every
+// worker count.
+func (r *ScenarioResult) Digest() uint64 {
+	h := uint64(0x5ce7a610d1ce5701)
+	for _, c := range []byte(r.Scenario) {
+		h = mix(h, uint64(c))
+	}
+	h = mix(h, uint64(r.Sent))
+	h = mix(h, uint64(r.Delivered))
+	h = mix(h, uint64(r.LostLink))
+	h = mix(h, uint64(r.LostDead))
+	h = mix(h, uint64(r.LostFault))
+	h = mix(h, uint64(r.AliveEnd))
+	h = mix(h, r.StoreDigest)
+	h = mix(h, uint64(int64(r.RoundsToConverge)))
+	h = mix(h, math.Float64bits(r.AvailAny))
+	h = mix(h, math.Float64bits(r.AvailFresh))
+	h = mix(h, math.Float64bits(r.StaleCopies))
+	h = mix(h, math.Float64bits(r.StaleKeepers))
+	h = mix(h, math.Float64bits(r.StalenessAtFaultEnd))
+	h = mix(h, math.Float64bits(r.MeanReplicasEnd))
+	return h
+}
+
+// String renders the headline numbers.
+func (r *ScenarioResult) String() string {
+	return fmt.Sprintf("%s N=%d W=%d avail=%.3f fresh=%.3f stale=%.3f stale@end=%.3f converge=%d replicas=%.2f digest=%016x",
+		r.Scenario, r.Nodes, r.Workers, r.AvailAny, r.AvailFresh, r.StaleCopies,
+		r.StalenessAtFaultEnd, r.RoundsToConverge, r.MeanReplicasEnd, r.Digest())
+}
+
+// scenarioProbe tracks per-key oracle state for one measurement pass.
+type scenarioProbe struct {
+	keyIdx map[string]int
+	points []node.Point // hashed ring position per key
+	latest []uint64     // latest written Seq per key
+	anyHit []bool
+	fresh  []bool
+
+	holders []int
+
+	copies       int // live copies of tracked keys across alive nodes
+	staleCopies  int // copies whose version is behind the latest write
+	staleKeepers int // stale copies on nodes currently responsible for the key
+}
+
+func newScenarioProbe(keys int) *scenarioProbe {
+	p := &scenarioProbe{
+		keyIdx:  make(map[string]int, keys),
+		points:  make([]node.Point, keys),
+		latest:  make([]uint64, keys),
+		anyHit:  make([]bool, keys),
+		fresh:   make([]bool, keys),
+		holders: make([]int, keys),
+	}
+	return p
+}
+
+// observe sweeps every alive store once (borrowed iteration, no clones,
+// no messages) and refreshes the per-key availability state.
+func (p *scenarioProbe) observe(net *sim.Network, nodes []*epidemic.Node) {
+	for i := range p.anyHit {
+		p.anyHit[i] = false
+		p.fresh[i] = false
+		p.holders[i] = 0
+	}
+	p.copies, p.staleCopies, p.staleKeepers = 0, 0, 0
+	for _, en := range nodes {
+		if !net.Alive(en.Self) {
+			continue
+		}
+		en.St.ForEachRef(func(t *tuple.Tuple) bool {
+			if t.Deleted {
+				return true
+			}
+			ki, ok := p.keyIdx[t.Key]
+			if !ok {
+				return true
+			}
+			p.anyHit[ki] = true
+			p.holders[ki]++
+			p.copies++
+			if t.Version.Seq == p.latest[ki] {
+				p.fresh[ki] = true
+			} else {
+				p.staleCopies++
+				// A stale copy on a node that currently covers the key is a
+				// responsible replica serving old data — the repair
+				// machinery's debt. A stale bystander copy (an old write's
+				// publisher retention outside every arc) is inert: reads
+				// resolve by version, and no protocol owes it an update.
+				if en.Repair != nil && en.Repair.Covers(p.points[ki]) {
+					p.staleKeepers++
+				}
+			}
+			return true
+		})
+	}
+}
+
+// staleFrac returns the fraction of live copies holding an outdated
+// version — the replica-divergence measure (a split brain drives it up;
+// anti-entropy and repair must drive it back to zero).
+func (p *scenarioProbe) staleFrac() float64 {
+	if p.copies == 0 {
+		return 0
+	}
+	return float64(p.staleCopies) / float64(p.copies)
+}
+
+// staleKeeperFrac returns the fraction of live copies that are stale on
+// a currently responsible node.
+func (p *scenarioProbe) staleKeeperFrac() float64 {
+	if p.copies == 0 {
+		return 0
+	}
+	return float64(p.staleKeepers) / float64(p.copies)
+}
+
+// converged reports repair completion: every key fresh-reachable and no
+// responsible replica serving an outdated version. Stale bystander
+// copies (publisher retentions outside every arc) are excluded — no
+// protocol owes them an update and reads resolve past them by version.
+func (p *scenarioProbe) converged() bool {
+	if p.staleKeepers > 0 {
+		return false
+	}
+	for _, f := range p.fresh {
+		if !f {
+			return false
+		}
+	}
+	return true
+}
+
+// fractions returns the available-any and fresh fractions of the last
+// observe pass.
+func (p *scenarioProbe) fractions() (anyFrac, freshFrac float64) {
+	var a, f int
+	for i := range p.anyHit {
+		if p.anyHit[i] {
+			a++
+		}
+		if p.fresh[i] {
+			f++
+		}
+	}
+	n := float64(len(p.anyHit))
+	return float64(a) / n, float64(f) / n
+}
+
+// meanHolders returns the mean alive replica count of the last observe
+// pass.
+func (p *scenarioProbe) meanHolders() float64 {
+	sum := 0
+	for _, h := range p.holders {
+		sum += h
+	}
+	return float64(sum) / float64(len(p.holders))
+}
+
+// RunScenario executes one fault scenario: settle, preload the key
+// space, open the fault window under sustained writes, then measure the
+// post-fault convergence. All state flows from cfg.Seed; two calls with
+// equal configs produce identical results at every worker count.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+
+	nodes := make([]*epidemic.Node, 0, cfg.Nodes)
+	ids := make([]node.ID, 0, cfg.Nodes)
+	pop := func() []node.ID { return ids }
+	ecfg := epidemic.Config{
+		Replication:      cfg.Replication,
+		FanoutC:          1,
+		AntiEntropyEvery: 10,
+		Repair: repair.Config{
+			Walks:       8,
+			CheckEvery:  10,
+			Grace:       8,
+			OrphanBatch: 2,
+		},
+	}
+	net := sim.New(sim.Config{Seed: cfg.Seed, Workers: cfg.Workers})
+	defer net.Close()
+	build := func(id node.ID, rng *rand.Rand) sim.Machine {
+		en := epidemic.New(id, rng, membership.NewUniformView(id, rng, pop), ecfg)
+		nodes = append(nodes, en)
+		return en
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		ids = append(ids, net.Spawn(build))
+	}
+
+	sc := sim.NewScenario(cfg.Seed ^ 0x5cee).Attach(net)
+
+	probe := newScenarioProbe(cfg.Keys)
+	keyName := func(ki int) string { return fmt.Sprintf("sk-%06d", ki) }
+	for ki := 0; ki < cfg.Keys; ki++ {
+		k := keyName(ki)
+		probe.keyIdx[k] = ki
+		probe.points[ki] = node.HashKey(k)
+	}
+
+	wrng := rand.New(rand.NewSource(cfg.Seed ^ 0x77aa77aa))
+	value := make([]byte, 64)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	writeKey := func(ki int) {
+		alive := net.AliveIDs()
+		if len(alive) == 0 {
+			return
+		}
+		origin := alive[wrng.Intn(len(alive))]
+		probe.latest[ki]++
+		t := &tuple.Tuple{
+			Key:     keyName(ki),
+			Value:   value,
+			Attrs:   map[string]float64{"v": float64(wrng.Intn(1000))},
+			Version: tuple.Version{Seq: probe.latest[ki], Writer: origin},
+		}
+		net.Emit(origin, nodes[origin-1].Write(net.Round(), t))
+	}
+	rounds := 0
+	step := func(writes int) {
+		for i := 0; i < writes; i++ {
+			writeKey(wrng.Intn(cfg.Keys))
+		}
+		sc.Step()
+		net.Step()
+		rounds++
+	}
+
+	start := time.Now()
+
+	// Settle, then preload the whole key space and let it disseminate.
+	for i := 0; i < cfg.Warmup; i++ {
+		step(0)
+	}
+	const preloadRounds = 16
+	per := (cfg.Keys + preloadRounds - 1) / preloadRounds
+	next := 0
+	for next < cfg.Keys {
+		for i := 0; i < per && next < cfg.Keys; i++ {
+			writeKey(next)
+			next++
+		}
+		step(0)
+	}
+	for i := 0; i < 15; i++ {
+		step(0)
+	}
+
+	// Schedule the fault window starting at the next round boundary.
+	// Node-state events (flap, crash) run on the Step clock [fs, fe);
+	// per-message events need one extra end round to cover the in-step
+	// traffic of the last fault round (see the sim window-clock note).
+	fs := net.Round()
+	fe := fs + sim.Round(cfg.FaultRounds)
+	feMsg := fe + 1
+	spawnJoin := func(id node.ID, rng *rand.Rand) sim.Machine {
+		en := epidemic.New(id, rng, membership.NewUniformView(id, rng, pop), ecfg)
+		nodes = append(nodes, en)
+		ids = append(ids, id)
+		return en
+	}
+	switch cfg.Name {
+	case ScenarioSplitBrain:
+		cut := cfg.Nodes * 3 / 5
+		sc.AddPartition("split-brain", fs, feMsg, ids[:cut], ids[cut:cfg.Nodes])
+	case ScenarioFlapStorm:
+		flappers := make([]node.ID, 0, cfg.Nodes/10)
+		for i := 0; i < cfg.Nodes; i += 10 {
+			flappers = append(flappers, ids[i])
+		}
+		sc.AddFlap("flap-storm", fs, fe, 8, 3, flappers...)
+	case ScenarioMassCrash:
+		sc.AddMassCrash("mass-crash", fs, 0.30, false, 20)
+		// A small correlated join wave arrives while the crashed cohort
+		// is still down — the membership turbulence the estimators and
+		// the sieve must absorb.
+		sc.AddMassJoin("mass-join", fs+10, cfg.Nodes/20, spawnJoin)
+	case ScenarioSlowNode:
+		for i := 0; i < cfg.Nodes; i += 20 {
+			sc.AddSlowNode(fmt.Sprintf("slow-%d", ids[i]), fs, feMsg, ids[i], 0.15, 3, 1)
+		}
+	case ScenarioLatencySpike:
+		sc.AddLatencySpike("latency-spike", fs, feMsg, 2, 2, 0)
+	}
+
+	// Fault window: sustained writes, oracle measurement every round.
+	var sumAny, sumFresh, sumStale, sumStaleKeep float64
+	for r := 0; r < cfg.FaultRounds; r++ {
+		step(cfg.WritesPerRound)
+		probe.observe(net, nodes)
+		a, f := probe.fractions()
+		sumAny += a
+		sumFresh += f
+		sumStale += probe.staleFrac()
+		sumStaleKeep += probe.staleKeeperFrac()
+	}
+	res := &ScenarioResult{
+		Scenario:     cfg.Name,
+		Nodes:        cfg.Nodes,
+		Keys:         cfg.Keys,
+		Workers:      max(cfg.Workers, 1),
+		Seed:         cfg.Seed,
+		AvailAny:     sumAny / float64(cfg.FaultRounds),
+		AvailFresh:   sumFresh / float64(cfg.FaultRounds),
+		StaleCopies:  sumStale / float64(cfg.FaultRounds),
+		StaleKeepers: sumStaleKeep / float64(cfg.FaultRounds),
+	}
+	res.StalenessAtFaultEnd = probe.staleFrac()
+
+	// Recovery: writes stop; converge means every key fresh-available
+	// and no responsible (keeper) replica still serving an outdated
+	// version — stale bystander copies are excluded, see converged().
+	res.RoundsToConverge = -1
+	for r := 1; r <= cfg.MaxRecovery; r++ {
+		step(0)
+		probe.observe(net, nodes)
+		if probe.converged() {
+			res.RoundsToConverge = r
+			res.Converged = true
+			break
+		}
+	}
+	res.MeanReplicasEnd = probe.meanHolders()
+
+	res.Rounds = rounds
+	res.ElapsedSeconds = time.Since(start).Seconds()
+	res.Sent = net.Stats.Sent.Value()
+	res.Delivered = net.Stats.Delivered.Value()
+	res.LostLink = net.Stats.LostLink.Value()
+	res.LostDead = net.Stats.LostDead.Value()
+	res.LostFault = net.Stats.LostFault.Value()
+	res.AliveEnd = net.Size()
+	full := node.FullArc()
+	for i, en := range nodes {
+		res.StoreDigest ^= en.St.DigestArc(full) * (uint64(i)*2 + 1)
+	}
+	return res, nil
+}

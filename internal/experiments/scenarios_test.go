@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// smallScenario is the reduced fixture the determinism matrix runs on:
+// big enough for real dissemination/repair dynamics, small enough that
+// every scenario × worker-count cell stays in test (not benchmark)
+// territory.
+func smallScenario(name string, workers int) ScenarioConfig {
+	return ScenarioConfig{
+		Name:        name,
+		Nodes:       64,
+		Keys:        128,
+		Seed:        42,
+		Warmup:      10,
+		FaultRounds: 20,
+		MaxRecovery: 120,
+		Workers:     workers,
+	}
+}
+
+func TestScenarioNamesCatalogue(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) != 5 {
+		t.Fatalf("catalogue has %d scenarios, want 5: %v", len(names), names)
+	}
+	for _, name := range names {
+		if ScenarioDescription(name) == "" {
+			t.Fatalf("scenario %q has no description", name)
+		}
+	}
+	if _, err := RunScenario(ScenarioConfig{Name: "no-such-fault"}); err == nil {
+		t.Fatal("unknown scenario name was accepted")
+	}
+	if _, err := RunScenario(ScenarioConfig{}); err == nil {
+		t.Fatal("empty scenario name was accepted")
+	}
+}
+
+// TestScenarioDigestStableAcrossWorkers is the acceptance bar of the
+// scenario engine: every scenario in the suite must produce an
+// identical behaviour digest at W ∈ {1, 4} — partitions, overrides,
+// flaps and mass events all execute in the serial commit phase, so the
+// worker count cannot leak into the trace. The CI scenario matrix runs
+// the same check per scenario under -race at reduced scale.
+func TestScenarioDigestStableAcrossWorkers(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		ref, err := RunScenario(smallScenario(name, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunScenario(smallScenario(name, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Digest() != res.Digest() {
+			t.Errorf("%s: W=4 digest %016x != W=1 digest %016x\n W=1: %s\n W=4: %s",
+				name, res.Digest(), ref.Digest(), ref, res)
+			continue
+		}
+		// The folded digest covers these, but comparing them individually
+		// names the drifted metric on failure.
+		if ref.Sent != res.Sent || ref.Delivered != res.Delivered ||
+			ref.LostFault != res.LostFault || ref.RoundsToConverge != res.RoundsToConverge ||
+			ref.AvailAny != res.AvailAny || ref.StaleCopies != res.StaleCopies {
+			t.Errorf("%s: digest matched but metrics differ:\n W=1: %s\n W=4: %s", name, ref, res)
+		}
+	}
+}
+
+// TestScenarioSameSeedTwice guards the harness itself against
+// map-iteration or shared-state leaks between runs in one process.
+func TestScenarioSameSeedTwice(t *testing.T) {
+	a, err := RunScenario(smallScenario(ScenarioSplitBrain, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(smallScenario(ScenarioSplitBrain, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same-seed scenario runs diverged:\n a: %s\n b: %s", a, b)
+	}
+	c, err := RunScenario(ScenarioConfig{
+		Name: ScenarioSplitBrain, Nodes: 64, Keys: 128, Seed: 43,
+		Warmup: 10, FaultRounds: 20, MaxRecovery: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == c.Digest() {
+		t.Fatal("different seeds produced identical scenario digests (suspicious)")
+	}
+}
+
+// TestSplitBrainDivergesAndRepairs pins the dependability shape the
+// paper claims: during a split brain the store keeps accepting writes on
+// both sides and every key stays readable (availability holds), the
+// sides diverge (stale replicas accumulate), and after the heal the
+// anti-entropy/repair machinery converges the cluster again.
+func TestSplitBrainDivergesAndRepairs(t *testing.T) {
+	res, err := RunScenario(ScenarioConfig{
+		Name: ScenarioSplitBrain, Nodes: 96, Keys: 192, Seed: 42,
+		Warmup: 12, MaxRecovery: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostFault == 0 {
+		t.Fatal("split brain dropped no messages — the partition never took effect")
+	}
+	if res.AvailAny < 0.98 {
+		t.Errorf("availability during partition = %.3f, want ≥ 0.98 (copies exist on both sides)", res.AvailAny)
+	}
+	if res.StaleCopies < 0.05 {
+		t.Errorf("stale-copy fraction during partition = %.3f, want ≥ 0.05 (the sides must diverge)", res.StaleCopies)
+	}
+	if !res.Converged {
+		t.Errorf("cluster did not converge within %d recovery rounds (stale@end=%.3f)", 300, res.StalenessAtFaultEnd)
+	}
+	if res.Converged && res.RoundsToConverge < 1 {
+		t.Errorf("rounds_to_converge = %d, want ≥ 1", res.RoundsToConverge)
+	}
+}
+
+// TestMassCrashRecoversMembershipAndData pins the correlated-crash
+// shape: 30% of members vanish at once (dead-target drops spike), a
+// join wave lands while they are down, the revived cohort re-syncs, and
+// the cluster converges with the full membership back.
+func TestMassCrashRecoversMembershipAndData(t *testing.T) {
+	res, err := RunScenario(ScenarioConfig{
+		Name: ScenarioMassCrash, Nodes: 96, Keys: 192, Seed: 42,
+		Warmup: 12, MaxRecovery: 450,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostDead == 0 {
+		t.Fatal("mass crash produced no dead-target drops — the crash never took effect")
+	}
+	wantAlive := 96 + 96/20 // full population + the join wave
+	if res.AliveEnd != wantAlive {
+		t.Errorf("alive at end = %d, want %d (crashed cohort revived + joiners)", res.AliveEnd, wantAlive)
+	}
+	if !res.Converged {
+		t.Errorf("cluster did not converge within 450 recovery rounds (stale@end=%.3f)", res.StalenessAtFaultEnd)
+	}
+	if res.MeanReplicasEnd < float64(3) {
+		t.Errorf("mean replicas at end = %.2f, want ≥ replication target 3", res.MeanReplicasEnd)
+	}
+}

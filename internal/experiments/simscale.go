@@ -106,15 +106,19 @@ type SimScaleResult struct {
 	NodeStored  []int64  `json:"-"`
 }
 
+// mix is the shared digest-folding primitive of the benchmark results
+// (SimScaleResult, ScenarioResult). Committed golden digests depend on
+// it; changing it invalidates them all at once, by design.
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return h
+}
+
 // Digest folds the run's observable behaviour into one 64-bit value for
 // golden-test comparison.
 func (r *SimScaleResult) Digest() uint64 {
-	mix := func(h, v uint64) uint64 {
-		h ^= v
-		h *= 0x9e3779b97f4a7c15
-		h ^= h >> 29
-		return h
-	}
 	h := uint64(0x8000000000000001)
 	h = mix(h, uint64(r.Sent))
 	h = mix(h, uint64(r.Delivered))

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"datadroplets/internal/node"
+)
+
+// churnTrace drives a churner over an otherwise-quiet population and
+// folds every observable churn decision — per-round alive set, pending
+// revivals, and the running transient/permanent/join counters — into one
+// hash, so two runs compare the complete churn schedule, not only its
+// end state.
+func churnTrace(seed int64) uint64 {
+	n := New(Config{Seed: 5})
+	n.SpawnN(200, func(id node.ID, rng *rand.Rand) Machine {
+		return &echoMachine{id: id, rng: rng}
+	})
+	ch := NewChurner(n, ChurnConfig{
+		TransientPerRound: 0.03,
+		PermanentPerRound: 0.004,
+		MeanDowntime:      4,
+		JoinPerRound:      0.8,
+		Spawn: func(id node.ID, rng *rand.Rand) Machine {
+			return &echoMachine{id: id, rng: rng}
+		},
+	}, seed)
+	var h uint64 = 14695981039346656037
+	mix := func(v uint64) { h = (h ^ v) * 0x100000001b3 }
+	for i := 0; i < 60; i++ {
+		ch.Step()
+		for _, id := range n.AliveIDs() {
+			mix(uint64(id))
+		}
+		mix(uint64(ch.Down()))
+		mix(uint64(ch.Transients)<<32 ^ uint64(ch.Permanents)<<16 ^ uint64(ch.Joins))
+		n.Step()
+	}
+	return h
+}
+
+// TestChurnSameSeedReplaysIdenticalTrace pins the churner's determinism
+// contract: equal seeds must reproduce the exact kill/revive/join
+// schedule round by round (the scenario suite and the golden digests
+// all lean on this).
+func TestChurnSameSeedReplaysIdenticalTrace(t *testing.T) {
+	a := churnTrace(31337)
+	b := churnTrace(31337)
+	if a != b {
+		t.Fatalf("same-seed churn traces diverged: %x vs %x", a, b)
+	}
+	if c := churnTrace(73313); c == a {
+		t.Fatal("different churn seeds produced identical traces (suspicious)")
+	}
+}
+
+// churnWithPartitionTranscript composes the §V churn model with a
+// scenario (split-brain partition plus a latency spike overlapping the
+// churn window) over the transcript fixture and returns the behaviour
+// hash at the given worker count.
+func churnWithPartitionTranscript(seed int64, workers int) uint64 {
+	n := New(Config{Seed: seed, Loss: 0.08, MinDelay: 1, MaxDelay: 2, Workers: workers})
+	defer n.Close()
+	machines := make([]*transcriptMachine, 0, 64)
+	ids := n.SpawnN(64, func(id node.ID, rng *rand.Rand) Machine {
+		m := &transcriptMachine{id: id, rng: rng}
+		machines = append(machines, m)
+		return m
+	})
+	for _, m := range machines {
+		m.all = ids
+	}
+	ch := NewChurner(n, ChurnConfig{
+		TransientPerRound: 0.04,
+		PermanentPerRound: 0.006,
+		MeanDowntime:      3,
+		JoinPerRound:      0.4,
+		Spawn: func(id node.ID, rng *rand.Rand) Machine {
+			m := &transcriptMachine{id: id, rng: rng, all: ids}
+			machines = append(machines, m)
+			return m
+		},
+	}, seed+1)
+	sc := NewScenario(seed^0x5ce).
+		AddPartition("split", 8, 20, ids[:32], ids[32:]).
+		AddLatencySpike("spike", 15, 25, 1, 1, 0).
+		Attach(n)
+	for i := 0; i < 40; i++ {
+		sc.Step()
+		ch.Step()
+		n.Step()
+	}
+	var h uint64 = 14695981039346656037
+	for _, m := range machines {
+		h = (h ^ m.hash) * 0x100000001b3
+	}
+	for _, v := range []int64{
+		n.Stats.Sent.Value(), n.Stats.Delivered.Value(),
+		n.Stats.LostLink.Value(), n.Stats.LostDead.Value(),
+		n.Stats.LostFault.Value(), int64(n.InFlight()), int64(n.Size()),
+	} {
+		h = (h ^ uint64(v)) * 0x100000001b3
+	}
+	return h
+}
+
+// TestChurnComposedWithPartitionStableAcrossWorkers is the composition
+// half of the churn coverage: churn and a partition scenario running
+// together must stay digest-stable at every worker count — kills,
+// revivals, joins, partition drops and spike delays all land in the
+// serial commit phase, so the trace cannot depend on scheduling.
+func TestChurnComposedWithPartitionStableAcrossWorkers(t *testing.T) {
+	ref := churnWithPartitionTranscript(777, 1)
+	if again := churnWithPartitionTranscript(777, 1); again != ref {
+		t.Fatalf("same-seed composed runs diverged: %x vs %x", ref, again)
+	}
+	for _, w := range []int{2, 4, 8} {
+		if got := churnWithPartitionTranscript(777, w); got != ref {
+			t.Fatalf("W=%d composed transcript %x differs from serial %x", w, got, ref)
+		}
+	}
+}

@@ -1,0 +1,427 @@
+// Scenario is the deterministic fault-schedule engine: a declarative,
+// seed-reproducible overlay that subjects a Network to the correlated
+// failure modes the paper's dependability claims are about — network
+// partitions, asymmetric lossy links, slow nodes, latency spikes, member
+// flapping and mass crash/join waves — while preserving the simulator's
+// byte-identical-trace guarantee at every worker count.
+//
+// Two execution paths, mirroring the two kinds of fault:
+//
+//   - Per-message effects (partitions, loss/delay overrides) run through
+//     Network.SetFault → FilterMsg, which the fabric consults inside emit.
+//     emit only ever runs in the serial commit phase, in canonical order,
+//     so scenario randomness (loss draws, delay jitter) is consumed in the
+//     same order at every Config.Workers setting.
+//   - Node-state events (flaps, mass crashes, mass joins, scheduled
+//     revivals) run in Scenario.Step, which the driver calls once per
+//     round before Network.Step — exactly like Churner.Step, with which
+//     scenarios freely compose.
+//
+// A scenario whose events are all outside their active windows consumes
+// no randomness and drops/delays nothing, so an attached-but-idle
+// scenario reproduces the fault-free trace bit for bit.
+//
+// # Window clocks
+//
+// Per-message windows ([start, end), compared against the round
+// FilterMsg observes) run on the emit clock: Network.Step increments
+// the round before delivering, so traffic emitted inside the step that
+// follows Scenario.Step at round r is filtered at r+1, while driver
+// emissions between steps are filtered at the current round. Node-state
+// events fire when Scenario.Step runs at exactly their round. A
+// schedule meaning "the next L steps" therefore wants end = start+L+1
+// for message events and end = start+L for node events — the
+// datadroplets Faults builder and the experiments suite encode this.
+package sim
+
+import (
+	"math/rand"
+
+	"datadroplets/internal/node"
+)
+
+// partitionEvent drops all traffic between distinct groups while active.
+// Nodes absent from group belong to the implicit group 0, so a partition
+// listing a single group isolates it from the rest of the population.
+type partitionEvent struct {
+	name       string
+	start, end Round
+	group      map[node.ID]int
+}
+
+// ovrKind selects which messages an overrideEvent applies to.
+type ovrKind int
+
+const (
+	ovrLink ovrKind = iota // directed a → b
+	ovrNode                // any message to or from a
+	ovrAll                 // every message (latency spikes)
+)
+
+// overrideEvent adds loss probability and/or delivery delay to matching
+// messages while active. Several active overrides compose: loss draws are
+// independent, extra delays add up.
+type overrideEvent struct {
+	name       string
+	start, end Round
+	kind       ovrKind
+	a, b       node.ID
+	loss       float64
+	extraDelay int
+	jitter     int // adds rng.Intn(jitter+1) rounds on top of extraDelay
+}
+
+func (o *overrideEvent) matches(from, to node.ID) bool {
+	switch o.kind {
+	case ovrLink:
+		return from == o.a && to == o.b
+	case ovrNode:
+		return from == o.a || to == o.a
+	default:
+		return true
+	}
+}
+
+// flapEvent cycles nodes down/up: each node is killed (transiently) at
+// phase 0 of every period and revived downFor rounds later, for the whole
+// active window. At the window's end every node the flap took down is
+// revived. downed tracks which kills were actually performed by this
+// flap, so revival never touches nodes a concurrent mass-crash or
+// churner holds down on its own schedule.
+type flapEvent struct {
+	name            string
+	start, end      Round
+	period, downFor int
+	nodes           []node.ID
+	downed          map[node.ID]bool
+}
+
+// crashEvent kills a correlated batch of alive nodes at one round.
+// Transient crashes can schedule a mass revival reviveAfter rounds
+// later. A non-nil pool restricts the candidate set (e.g. to one layer
+// of a deployment); nil means every alive node.
+type crashEvent struct {
+	name        string
+	at          Round
+	fraction    float64
+	permanent   bool
+	reviveAfter int
+	pool        []node.ID
+}
+
+// joinEvent admits a burst of fresh nodes at one round.
+type joinEvent struct {
+	name  string
+	at    Round
+	count int
+	spawn func(id node.ID, rng *rand.Rand) Machine
+}
+
+// Scenario is a composable fault schedule over a Network. Build it with
+// the Add* methods (any time before the events' rounds pass), Attach it
+// to the network, and call Step once per round before Network.Step.
+// All randomness (override loss draws, delay jitter, crash victim
+// selection) flows from the scenario's own seeded RNG, independent of
+// protocol and churn randomness.
+type Scenario struct {
+	rng *rand.Rand
+	net *Network
+
+	partitions []*partitionEvent
+	overrides  []*overrideEvent
+	flaps      []*flapEvent
+	crashes    []*crashEvent
+	joins      []*joinEvent
+
+	// Per-round active-event caches, refreshed when FilterMsg first sees
+	// a new round; emit is the hot path and most rounds have no faults.
+	cachedRound Round
+	cacheValid  bool
+	activeParts []*partitionEvent
+	activeOvr   []*overrideEvent
+
+	// revive schedules mass-crash revivals (round → victims, in the
+	// deterministic selection order).
+	revive map[Round][]node.ID
+
+	// Counters for reporting.
+	Crashed int // nodes killed by mass-crash events
+	Flapped int // kill transitions performed by flap events
+	Joined  int // nodes admitted by mass-join events
+
+	scratch []node.ID // reused alive-snapshot buffer for victim selection
+}
+
+// NewScenario creates an empty scenario with its own seeded randomness.
+func NewScenario(seed int64) *Scenario {
+	return &Scenario{
+		rng:    rand.New(rand.NewSource(seed)),
+		revive: make(map[Round][]node.ID),
+	}
+}
+
+// Attach installs the scenario on the network's fault hook. The driver
+// must also call Step once per round (before net.Step), or node-state
+// events never fire.
+func (s *Scenario) Attach(net *Network) *Scenario {
+	s.net = net
+	net.SetFault(s)
+	return s
+}
+
+// AddPartition schedules a named partition over [start, end): while
+// active, every message between nodes of different groups is dropped.
+// Unlisted nodes (including later joiners) form the implicit group 0, so
+// a single listed group models isolating that set from everyone else and
+// two listed groups covering the population model a split-brain. Healing
+// is implicit at end.
+func (s *Scenario) AddPartition(name string, start, end Round, groups ...[]node.ID) *Scenario {
+	p := &partitionEvent{name: name, start: start, end: end, group: make(map[node.ID]int)}
+	for gi, g := range groups {
+		for _, id := range g {
+			p.group[id] = gi + 1
+		}
+	}
+	s.partitions = append(s.partitions, p)
+	s.cacheValid = false
+	return s
+}
+
+// AddLink schedules a directed link override from → to over [start, end):
+// matching messages are dropped with probability loss and delayed by
+// extraDelay plus uniform jitter in [0, jitter] rounds. Schedule both
+// directions for a symmetric fault; schedule asymmetric pairs to model
+// one-way degradation.
+func (s *Scenario) AddLink(name string, start, end Round, from, to node.ID, loss float64, extraDelay, jitter int) *Scenario {
+	s.overrides = append(s.overrides, &overrideEvent{
+		name: name, start: start, end: end, kind: ovrLink, a: from, b: to,
+		loss: loss, extraDelay: max(extraDelay, 0), jitter: max(jitter, 0),
+	})
+	s.cacheValid = false
+	return s
+}
+
+// AddSlowNode schedules a per-node override over [start, end): every
+// message to or from id suffers the loss probability and the extra
+// delay — the classic slow/overloaded-member tail-latency fault.
+func (s *Scenario) AddSlowNode(name string, start, end Round, id node.ID, loss float64, extraDelay, jitter int) *Scenario {
+	s.overrides = append(s.overrides, &overrideEvent{
+		name: name, start: start, end: end, kind: ovrNode, a: id,
+		loss: loss, extraDelay: max(extraDelay, 0), jitter: max(jitter, 0),
+	})
+	s.cacheValid = false
+	return s
+}
+
+// AddLatencySpike schedules a global delay surge over [start, end):
+// every message is delayed by extraDelay plus uniform jitter in
+// [0, jitter] rounds (and dropped with probability loss, if non-zero).
+func (s *Scenario) AddLatencySpike(name string, start, end Round, extraDelay, jitter int, loss float64) *Scenario {
+	s.overrides = append(s.overrides, &overrideEvent{
+		name: name, start: start, end: end, kind: ovrAll,
+		loss: loss, extraDelay: max(extraDelay, 0), jitter: max(jitter, 0),
+	})
+	s.cacheValid = false
+	return s
+}
+
+// AddFlap schedules member flapping over [start, end): each listed node
+// goes down (transiently) at the start of every period rounds and comes
+// back downFor rounds later. Every node the flap itself took down is
+// revived when the window closes. Inputs are normalised to a real
+// cycle: period is at least 2 and downFor is clamped into
+// [1, period-1], so a node always comes back up within each period.
+func (s *Scenario) AddFlap(name string, start, end Round, period, downFor int, nodes ...node.ID) *Scenario {
+	if period < 2 {
+		period = 2
+	}
+	if downFor < 1 {
+		downFor = 1
+	}
+	if downFor >= period {
+		downFor = period - 1
+	}
+	s.flaps = append(s.flaps, &flapEvent{
+		name: name, start: start, end: end, period: period, downFor: downFor,
+		nodes:  append([]node.ID(nil), nodes...),
+		downed: make(map[node.ID]bool, len(nodes)),
+	})
+	return s
+}
+
+// AddMassCrash schedules a correlated crash at round at: the given
+// fraction of then-alive nodes (chosen by the scenario RNG) fails
+// simultaneously. Permanent crashes never return; transient victims are
+// revived together reviveAfter rounds later (0 leaves them down until
+// something else — e.g. a Churner — revives them).
+func (s *Scenario) AddMassCrash(name string, at Round, fraction float64, permanent bool, reviveAfter int) *Scenario {
+	s.crashes = append(s.crashes, &crashEvent{
+		name: name, at: at, fraction: fraction, permanent: permanent, reviveAfter: reviveAfter,
+	})
+	return s
+}
+
+// AddMassCrashIn is AddMassCrash restricted to a candidate pool: the
+// fraction applies to the pool members alive at the crash round, and
+// only they can be victims. Use it to crash one layer of a deployment
+// while another (e.g. a client-facing layer) stays up.
+func (s *Scenario) AddMassCrashIn(name string, at Round, pool []node.ID, fraction float64, permanent bool, reviveAfter int) *Scenario {
+	s.crashes = append(s.crashes, &crashEvent{
+		name: name, at: at, fraction: fraction, permanent: permanent, reviveAfter: reviveAfter,
+		pool: append([]node.ID(nil), pool...),
+	})
+	return s
+}
+
+// AddMassJoin schedules a correlated join burst: count fresh nodes spawn
+// at round at using the given machine factory.
+func (s *Scenario) AddMassJoin(name string, at Round, count int, spawn func(id node.ID, rng *rand.Rand) Machine) *Scenario {
+	s.joins = append(s.joins, &joinEvent{name: name, at: at, count: count, spawn: spawn})
+	return s
+}
+
+// Step applies this round's node-state events. Call exactly once per
+// simulation round, before Network.Step (the same driving convention as
+// Churner.Step; when composing with churn, fix one call order and keep
+// it — the trace depends on it).
+func (s *Scenario) Step() {
+	if s.net == nil {
+		return
+	}
+	now := s.net.Round()
+	// Scheduled mass revivals first, mirroring Churner (a node cannot
+	// crash and revive in the same round).
+	if ids, ok := s.revive[now]; ok {
+		for _, id := range ids {
+			s.net.Revive(id)
+		}
+		delete(s.revive, now)
+	}
+	for _, f := range s.flaps {
+		switch {
+		case now >= f.start && now < f.end:
+			phase := int(now-f.start) % f.period
+			switch phase {
+			case 0:
+				for _, id := range f.nodes {
+					if s.net.Alive(id) {
+						s.net.Kill(id, false)
+						f.downed[id] = true
+						s.Flapped++
+					}
+				}
+			case f.downFor:
+				// Revive only the nodes this flap took down: a node a
+				// concurrent mass-crash or churner holds down keeps its
+				// own revival schedule.
+				for _, id := range f.nodes {
+					if f.downed[id] {
+						s.net.Revive(id)
+						delete(f.downed, id)
+					}
+				}
+			}
+		case now == f.end:
+			// Window closed mid-cycle: bring this flap's victims back.
+			for _, id := range f.nodes {
+				if f.downed[id] {
+					s.net.Revive(id)
+					delete(f.downed, id)
+				}
+			}
+		}
+	}
+	for _, c := range s.crashes {
+		if c.at != now || c.fraction <= 0 {
+			continue
+		}
+		alive := s.scratch[:0]
+		if c.pool != nil {
+			for _, id := range c.pool {
+				if s.net.Alive(id) {
+					alive = append(alive, id)
+				}
+			}
+		} else {
+			alive = append(alive, s.net.AliveIDs()...)
+		}
+		s.scratch = alive
+		k := int(c.fraction*float64(len(alive)) + 0.5)
+		if k > len(alive) {
+			k = len(alive)
+		}
+		// Partial Fisher–Yates: the first k entries become the victims,
+		// selected deterministically from the scenario RNG.
+		for i := 0; i < k; i++ {
+			j := i + s.rng.Intn(len(alive)-i)
+			alive[i], alive[j] = alive[j], alive[i]
+			s.net.Kill(alive[i], c.permanent)
+			s.Crashed++
+		}
+		if !c.permanent && c.reviveAfter > 0 {
+			s.revive[now+Round(c.reviveAfter)] = append(s.revive[now+Round(c.reviveAfter)], alive[:k]...)
+		}
+	}
+	for _, j := range s.joins {
+		if j.at != now || j.spawn == nil {
+			continue
+		}
+		for i := 0; i < j.count; i++ {
+			s.net.Spawn(j.spawn)
+			s.Joined++
+		}
+	}
+}
+
+// refresh rebuilds the active-event caches for round now. O(events),
+// paid once per round and only while FilterMsg is being consulted.
+func (s *Scenario) refresh(now Round) {
+	s.activeParts = s.activeParts[:0]
+	for _, p := range s.partitions {
+		if now >= p.start && now < p.end {
+			s.activeParts = append(s.activeParts, p)
+		}
+	}
+	s.activeOvr = s.activeOvr[:0]
+	for _, o := range s.overrides {
+		if now >= o.start && now < o.end {
+			s.activeOvr = append(s.activeOvr, o)
+		}
+	}
+	s.cachedRound = now
+	s.cacheValid = true
+}
+
+// FilterMsg implements FaultInjector: partitions first (a partitioned
+// message consumes no randomness), then the active overrides in schedule
+// order — each matching override draws its loss and jitter from the
+// scenario RNG, so the fault trace is reproducible from the scenario
+// seed alone.
+func (s *Scenario) FilterMsg(now Round, from, to node.ID) (drop bool, extraDelay int) {
+	if !s.cacheValid || now != s.cachedRound {
+		s.refresh(now)
+	}
+	if len(s.activeParts) == 0 && len(s.activeOvr) == 0 {
+		return false, 0
+	}
+	for _, p := range s.activeParts {
+		if p.group[from] != p.group[to] {
+			return true, 0
+		}
+	}
+	for _, o := range s.activeOvr {
+		if !o.matches(from, to) {
+			continue
+		}
+		if o.loss > 0 && s.rng.Float64() < o.loss {
+			return true, 0
+		}
+		extraDelay += o.extraDelay
+		if o.jitter > 0 {
+			extraDelay += s.rng.Intn(o.jitter + 1)
+		}
+	}
+	return false, extraDelay
+}
+
+var _ FaultInjector = (*Scenario)(nil)

@@ -1,0 +1,398 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"datadroplets/internal/node"
+)
+
+// pingAll emits one message from every node to every other node and
+// steps enough rounds for fixed-delay delivery.
+func pingAll(n *Network, ids []node.ID) {
+	for _, from := range ids {
+		var envs []Envelope
+		for _, to := range ids {
+			if to != from {
+				envs = append(envs, Envelope{To: to, Msg: int(from)})
+			}
+		}
+		n.Emit(from, envs)
+	}
+	n.Step()
+}
+
+func TestPartitionDropsCrossGroupOnlyThenHeals(t *testing.T) {
+	n := New(Config{Seed: 1})
+	sinks := make([]*echoMachine, 0, 6)
+	ids := n.SpawnN(6, func(id node.ID, rng *rand.Rand) Machine {
+		m := &echoMachine{id: id, rng: rng}
+		sinks = append(sinks, m)
+		return m
+	})
+	left, right := ids[:3], ids[3:]
+	sc := NewScenario(7).AddPartition("split", 0, 1, left, right).Attach(n)
+
+	pingAll(n, ids) // round 0 emissions, delivered in round 1
+	for i, m := range sinks {
+		if got := len(m.received); got != 2 {
+			t.Fatalf("node %d received %d messages during partition, want 2 (own side only)", i+1, got)
+		}
+	}
+	if lf := n.Stats.LostFault.Value(); lf != 6*3 {
+		t.Fatalf("lostFault = %d, want 18 (each node's 3 cross-group messages)", lf)
+	}
+
+	// Past the window (emissions at round 1) the partition has healed.
+	sc.Step()
+	pingAll(n, ids)
+	for i, m := range sinks {
+		if got := len(m.received); got != 2+5 {
+			t.Fatalf("node %d received %d messages after heal, want 7", i+1, got)
+		}
+	}
+}
+
+func TestPartitionSingleGroupIsolatesFromImplicitRest(t *testing.T) {
+	n := New(Config{Seed: 1})
+	sinks := make([]*echoMachine, 0, 5)
+	ids := n.SpawnN(5, func(id node.ID, rng *rand.Rand) Machine {
+		m := &echoMachine{id: id, rng: rng}
+		sinks = append(sinks, m)
+		return m
+	})
+	NewScenario(7).AddPartition("isolate", 0, 10, ids[:2]).Attach(n)
+	pingAll(n, ids)
+	// Isolated pair {1,2}: hears only each other (1 message). Rest {3,4,5}:
+	// hear only each other (2 messages).
+	for i, m := range sinks {
+		want := 2
+		if i < 2 {
+			want = 1
+		}
+		if len(m.received) != want {
+			t.Fatalf("node %d received %d, want %d", i+1, len(m.received), want)
+		}
+	}
+}
+
+func TestLatencySpikeDelaysAndGrowsRing(t *testing.T) {
+	n := New(Config{Seed: 1}) // MinDelay = MaxDelay = 1 → 2-slot ring
+	a, _ := spawnEcho(n)
+	b, mb := spawnEcho(n)
+	NewScenario(3).AddLatencySpike("spike", 0, 1, 4, 0, 0).Attach(n)
+
+	// First message rides the spike (delay 1+4 = 5); the second is
+	// emitted in round 1, past the window, and arrives next round. The
+	// ring must grow without disturbing either.
+	n.Emit(a, []Envelope{{To: b, Msg: "slow"}})
+	n.Step() // round 1
+	n.Emit(a, []Envelope{{To: b, Msg: "fast"}})
+	n.Step() // round 2: "fast" arrives
+	if len(mb.received) != 1 || mb.received[0] != "r2 "+a.String()+" fast" {
+		t.Fatalf("received = %v, want only the post-spike message at round 2", mb.received)
+	}
+	n.Run(2) // rounds 3, 4
+	if len(mb.received) != 1 {
+		t.Fatalf("spiked message arrived early: %v", mb.received)
+	}
+	n.Step() // round 5: the spiked message lands
+	if len(mb.received) != 2 || mb.received[1] != "r5 "+a.String()+" slow" {
+		t.Fatalf("received = %v, want the spiked message at round 5", mb.received)
+	}
+	if n.InFlight() != 0 {
+		t.Fatalf("inFlight = %d after all deliveries", n.InFlight())
+	}
+}
+
+func TestGrowQueuePreservesPendingDeliveries(t *testing.T) {
+	n := New(Config{Seed: 9, MinDelay: 1, MaxDelay: 3})
+	a, _ := spawnEcho(n)
+	b, mb := spawnEcho(n)
+	// Fill several pending rounds, then force growth via a huge spike.
+	for i := 0; i < 50; i++ {
+		n.Emit(a, []Envelope{{To: b, Msg: i}})
+	}
+	pending := n.InFlight()
+	NewScenario(3).AddLatencySpike("spike", 0, 1, 20, 0, 0).Attach(n)
+	n.Emit(a, []Envelope{{To: b, Msg: "far"}}) // grows the ring mid-stream
+	if n.InFlight() != pending+1 {
+		t.Fatalf("inFlight = %d, want %d", n.InFlight(), pending+1)
+	}
+	n.Run(25)
+	if len(mb.received) != 51 {
+		t.Fatalf("received %d messages after growth, want all 51", len(mb.received))
+	}
+}
+
+func TestSlowNodeLossAndDelay(t *testing.T) {
+	n := New(Config{Seed: 21})
+	a, _ := spawnEcho(n)
+	b, mb := spawnEcho(n)
+	c, mc := spawnEcho(n)
+	NewScenario(5).AddSlowNode("slow-b", 0, 1000, b, 0.5, 2, 0).Attach(n)
+	const total = 1000
+	for i := 0; i < total; i++ {
+		n.Emit(a, []Envelope{{To: b, Msg: i}, {To: c, Msg: i}})
+	}
+	n.Step()
+	if len(mb.received) != 0 {
+		t.Fatal("slow node received before its extra delay elapsed")
+	}
+	if len(mc.received) != total {
+		t.Fatalf("unaffected node received %d, want %d", len(mc.received), total)
+	}
+	n.Run(2)
+	got := len(mb.received)
+	if got < total/2-120 || got > total/2+120 {
+		t.Fatalf("slow node received %d of %d at 50%% loss", got, total)
+	}
+	if n.Stats.LostFault.Value() != int64(total-got) {
+		t.Fatalf("lostFault = %d, want %d", n.Stats.LostFault.Value(), total-got)
+	}
+}
+
+func TestAsymmetricLinkOverride(t *testing.T) {
+	n := New(Config{Seed: 2})
+	a, ma := spawnEcho(n)
+	b, mb := spawnEcho(n)
+	NewScenario(5).AddLink("a-to-b", 0, 100, a, b, 1.0, 0, 0).Attach(n)
+	n.Emit(a, []Envelope{{To: b, Msg: "x"}})
+	n.Emit(b, []Envelope{{To: a, Msg: "y"}})
+	n.Step()
+	if len(mb.received) != 0 {
+		t.Fatal("a→b message survived a loss=1 link override")
+	}
+	if len(ma.received) != 1 {
+		t.Fatal("b→a message was affected by the directed a→b override")
+	}
+}
+
+func TestFlapSchedule(t *testing.T) {
+	n := New(Config{Seed: 1})
+	id, m := spawnEcho(n)
+	sc := NewScenario(1).AddFlap("flap", 2, 10, 4, 2, id).Attach(n)
+	wantDown := map[int]bool{2: true, 3: true, 6: true, 7: true} // phases 0,1 of each period
+	for r := 0; r < 12; r++ {
+		sc.Step()
+		if got := !n.Alive(id); got != wantDown[r] {
+			t.Fatalf("round %d: down=%v, want %v", r, got, wantDown[r])
+		}
+		n.Step()
+	}
+	if !n.Alive(id) {
+		t.Fatal("node not revived after flap window closed")
+	}
+	if sc.Flapped != 2 {
+		t.Fatalf("Flapped = %d, want 2 kill transitions", sc.Flapped)
+	}
+	if m.starts != 3 { // spawn + two revivals
+		t.Fatalf("starts = %d, want 3", m.starts)
+	}
+}
+
+// TestFlapDoesNotReviveOtherFaultsVictims pins the composition
+// contract: a flap only revives nodes it took down itself, so a node a
+// concurrent mass-crash holds down keeps the crash's revival schedule.
+func TestFlapDoesNotReviveOtherFaultsVictims(t *testing.T) {
+	n := New(Config{Seed: 1})
+	id, _ := spawnEcho(n)
+	sc := NewScenario(9).
+		AddMassCrash("crash", 1, 1.0, false, 20). // down rounds 1..20, revive at 21
+		AddFlap("flap", 2, 40, 4, 2, id).         // overlapping flap cycles
+		Attach(n)
+	for r := 0; ; r++ {
+		now := int(n.Round())
+		sc.Step()
+		if now >= 1 && now < 21 {
+			if n.Alive(id) {
+				t.Fatalf("round %d: flap revived the mass-crash victim early", now)
+			}
+		}
+		if now == 21 {
+			if !n.Alive(id) {
+				t.Fatalf("round %d: crash victim not revived on its own schedule", now)
+			}
+			break
+		}
+		n.Step()
+		if r > 50 {
+			t.Fatal("test never reached the revival round")
+		}
+	}
+}
+
+func TestMassCrashTransientRevives(t *testing.T) {
+	n := New(Config{Seed: 1})
+	n.SpawnN(100, func(id node.ID, rng *rand.Rand) Machine {
+		return &echoMachine{id: id, rng: rng}
+	})
+	sc := NewScenario(77).AddMassCrash("crash", 3, 0.3, false, 5).Attach(n)
+	aliveAt := make(map[int]int)
+	for r := 0; r < 12; r++ {
+		sc.Step()
+		aliveAt[r] = n.Size()
+		n.Step()
+	}
+	if aliveAt[2] != 100 || aliveAt[3] != 70 {
+		t.Fatalf("alive around crash = %d/%d, want 100/70", aliveAt[2], aliveAt[3])
+	}
+	if aliveAt[7] != 70 || aliveAt[8] != 100 {
+		t.Fatalf("alive around revival = %d/%d, want 70/100", aliveAt[7], aliveAt[8])
+	}
+	if sc.Crashed != 30 {
+		t.Fatalf("Crashed = %d, want 30", sc.Crashed)
+	}
+}
+
+func TestMassCrashPermanentStaysDown(t *testing.T) {
+	n := New(Config{Seed: 1})
+	n.SpawnN(50, func(id node.ID, rng *rand.Rand) Machine {
+		return &echoMachine{id: id, rng: rng}
+	})
+	sc := NewScenario(77).AddMassCrash("crash", 1, 0.2, true, 3).Attach(n)
+	for r := 0; r < 8; r++ {
+		sc.Step()
+		n.Step()
+	}
+	if n.Size() != 40 {
+		t.Fatalf("alive = %d after permanent mass crash, want 40", n.Size())
+	}
+}
+
+func TestMassJoinGrowsPopulation(t *testing.T) {
+	n := New(Config{Seed: 1})
+	n.SpawnN(10, func(id node.ID, rng *rand.Rand) Machine {
+		return &echoMachine{id: id, rng: rng}
+	})
+	sc := NewScenario(1).AddMassJoin("join", 2, 15, func(id node.ID, rng *rand.Rand) Machine {
+		return &echoMachine{id: id, rng: rng}
+	}).Attach(n)
+	for r := 0; r < 4; r++ {
+		sc.Step()
+		n.Step()
+	}
+	if n.Population() != 25 || sc.Joined != 15 {
+		t.Fatalf("population = %d (joined %d), want 25 (15)", n.Population(), sc.Joined)
+	}
+}
+
+// scenarioTranscript runs the transcript fixture under a full composed
+// scenario (partition + slow node + latency spike + flap + mass crash +
+// mass join) at the given worker count and returns the behaviour hash.
+func scenarioTranscript(seed int64, workers int) uint64 {
+	n := New(Config{Seed: seed, Loss: 0.05, MinDelay: 1, MaxDelay: 3, Workers: workers})
+	defer n.Close()
+	machines := make([]*transcriptMachine, 0, 60)
+	spawn := func(id node.ID, rng *rand.Rand) Machine {
+		m := &transcriptMachine{id: id, rng: rng}
+		machines = append(machines, m)
+		return m
+	}
+	ids := n.SpawnN(60, spawn)
+	for _, m := range machines {
+		m.all = ids
+	}
+	sc := NewScenario(seed^0xfa17).
+		AddPartition("split", 5, 15, ids[:20], ids[20:40]).
+		AddSlowNode("slow", 8, 30, ids[3], 0.3, 2, 1).
+		AddLatencySpike("spike", 18, 22, 1, 2, 0.05).
+		AddFlap("flap", 10, 34, 6, 2, ids[7], ids[11], ids[13]).
+		AddMassCrash("crash", 25, 0.25, false, 6).
+		AddMassJoin("join", 28, 5, func(id node.ID, rng *rand.Rand) Machine {
+			m := &transcriptMachine{id: id, rng: rng, all: ids}
+			machines = append(machines, m)
+			return m
+		}).
+		Attach(n)
+	for i := 0; i < 45; i++ {
+		sc.Step()
+		n.Step()
+	}
+	var h uint64 = 14695981039346656037
+	for _, m := range machines {
+		h = (h ^ m.hash) * 0x100000001b3
+	}
+	for _, v := range []int64{
+		n.Stats.Sent.Value(), n.Stats.Delivered.Value(),
+		n.Stats.LostLink.Value(), n.Stats.LostDead.Value(),
+		n.Stats.LostFault.Value(), int64(n.InFlight()), int64(n.Size()),
+	} {
+		h = (h ^ uint64(v)) * 0x100000001b3
+	}
+	return h
+}
+
+// TestScenarioDeterministicAcrossSeedsAndWorkers is the engine's core
+// contract: a composed scenario replays identically for equal seeds and
+// produces a byte-identical trace at every worker count.
+func TestScenarioDeterministicAcrossSeedsAndWorkers(t *testing.T) {
+	ref := scenarioTranscript(4242, 1)
+	if again := scenarioTranscript(4242, 1); again != ref {
+		t.Fatalf("same-seed scenario runs diverged: %x vs %x", ref, again)
+	}
+	if other := scenarioTranscript(2424, 1); other == ref {
+		t.Fatal("different seeds produced identical scenario transcripts (suspicious)")
+	}
+	for _, w := range []int{2, 4, 8} {
+		if got := scenarioTranscript(4242, w); got != ref {
+			t.Fatalf("W=%d scenario transcript %x differs from serial %x", w, got, ref)
+		}
+	}
+}
+
+// TestIdleScenarioPreservesFaultFreeTrace pins the no-active-events fast
+// path: attaching a scenario whose windows never open must reproduce the
+// fault-free trace bit for bit (no stray RNG consumption, no drops).
+func TestIdleScenarioPreservesFaultFreeTrace(t *testing.T) {
+	bare := runTranscriptWorkers(999, 1)
+
+	n := New(Config{Seed: 999, Loss: 0.1, MinDelay: 1, MaxDelay: 3})
+	machines := make([]*transcriptMachine, 0, 50)
+	ids := n.SpawnN(50, func(id node.ID, rng *rand.Rand) Machine {
+		m := &transcriptMachine{id: id, rng: rng}
+		machines = append(machines, m)
+		return m
+	})
+	for _, m := range machines {
+		m.all = ids
+	}
+	ch := NewChurner(n, ChurnConfig{
+		TransientPerRound: 0.05,
+		PermanentPerRound: 0.01,
+		MeanDowntime:      3,
+		JoinPerRound:      0.5,
+		Spawn: func(id node.ID, rng *rand.Rand) Machine {
+			m := &transcriptMachine{id: id, rng: rng, all: ids}
+			machines = append(machines, m)
+			return m
+		},
+	}, 1000)
+	// Events scheduled far past the run: the scenario stays idle.
+	sc := NewScenario(123).
+		AddPartition("never", 1000, 2000, ids[:10]).
+		AddLatencySpike("never", 1000, 2000, 5, 5, 0.5).
+		Attach(n)
+	for i := 0; i < 40; i++ {
+		sc.Step()
+		ch.Step()
+		n.Step()
+	}
+	var h uint64 = 14695981039346656037
+	for _, m := range machines {
+		h = (h ^ m.hash) * 0x100000001b3
+	}
+	for _, v := range []int64{
+		n.Stats.Sent.Value(), n.Stats.Delivered.Value(),
+		n.Stats.LostLink.Value(), n.Stats.LostDead.Value(),
+		int64(n.InFlight()),
+	} {
+		h = (h ^ uint64(v)) * 0x100000001b3
+	}
+	if h != bare {
+		t.Fatalf("idle scenario perturbed the trace: %x vs bare %x", h, bare)
+	}
+	if n.Stats.LostFault.Value() != 0 {
+		t.Fatalf("idle scenario dropped %d messages", n.Stats.LostFault.Value())
+	}
+}

@@ -32,6 +32,18 @@
 // The contract holds because machines are confined to their own node
 // (see Machine) and per-node RNG streams depend only on the order of
 // that node's own Handle/Tick calls, which sharding preserves.
+//
+// # Fault scenarios
+//
+// Beyond the uniform Loss/delay model, a Scenario overlays the fabric
+// with a deterministic fault schedule: named partitions that drop
+// cross-group traffic and later heal, per-link and per-node loss/delay
+// overrides (asymmetric links, slow nodes), global latency spikes, node
+// flapping, and correlated mass-crash / mass-join events. Per-message
+// effects run through the FaultInjector hook inside emit — always in the
+// serial commit phase, in canonical order — and node-state events run in
+// Scenario.Step between rounds, so every scenario composes with churn
+// and preserves the byte-identical trace at every worker count.
 package sim
 
 import (
@@ -52,6 +64,18 @@ type Round int
 type Envelope struct {
 	To  node.ID
 	Msg any
+}
+
+// FaultInjector overlays the fabric with scheduled faults. FilterMsg is
+// consulted once per emitted message — always in the serial commit phase,
+// in the canonical emission order — and may drop the message (a partition
+// or a lossy link) or add delivery delay (a slow node, a latency spike).
+// Because the calls happen in the same order at every Config.Workers
+// setting, an injector may consume its own seeded randomness without
+// breaking the byte-identical-trace guarantee. Scenario is the standard
+// implementation.
+type FaultInjector interface {
+	FilterMsg(now Round, from, to node.ID) (drop bool, extraDelay int)
 }
 
 // Machine is the protocol state machine contract shared by the simulator
@@ -120,6 +144,7 @@ type Stats struct {
 	Delivered metrics.Counter // messages delivered to alive nodes
 	LostLink  metrics.Counter // dropped by the loss process
 	LostDead  metrics.Counter // dropped because the target was down
+	LostFault metrics.Counter // dropped by the installed FaultInjector
 }
 
 type delivery struct {
@@ -163,6 +188,9 @@ type Network struct {
 	// the commit phase consumes them, capacity is kept).
 	pool       *workerPool
 	poolClosed bool // Close ran: a parallel Step must not revive the pool
+
+	// fault, when installed, filters every emission (see FaultInjector).
+	fault FaultInjector
 
 	curDue    []delivery   // the round's due slice, visible to workers
 	shardDue  [][]int32    // per-worker due indices, recycled each round
@@ -291,6 +319,15 @@ func (n *Network) Revive(id node.ID) {
 // machine. The envelopes are attributed to from.
 func (n *Network) Emit(from node.ID, envs []Envelope) { n.emit(from, envs) }
 
+// SetFault installs (or, with nil, removes) a fault injector. Injected
+// faults act on top of the base Loss/delay model; the injector is invoked
+// in the serial commit phase only, so installing one never perturbs the
+// cross-worker determinism contract. A Scenario with no currently active
+// events consumes no randomness and leaves the trace untouched, so the
+// same seed with and without an idle scenario attached behaves
+// identically.
+func (n *Network) SetFault(f FaultInjector) { n.fault = f }
+
 // emit enqueues envelopes. The loss draw is skipped entirely when
 // Loss == 0 and the delay draw when MinDelay == MaxDelay, so the common
 // lossless fixed-delay configuration consumes no fabric randomness per
@@ -298,6 +335,24 @@ func (n *Network) Emit(from node.ID, envs []Envelope) { n.emit(from, envs) }
 func (n *Network) emit(from node.ID, envs []Envelope) {
 	for _, e := range envs {
 		n.Stats.Sent.Inc()
+		// Fault overlay first: a partitioned message never reaches the
+		// link, so it must not consume a base loss/delay draw (healing the
+		// partition then replays the exact fault-free RNG stream).
+		extra := 0
+		if n.fault != nil {
+			var drop bool
+			drop, extra = n.fault.FilterMsg(n.round, from, e.To)
+			if drop {
+				n.Stats.LostFault.Inc()
+				continue
+			}
+			if extra < 0 {
+				// Negative extra delay would break the ring invariant
+				// (due rounds strictly after the current round); a fault
+				// can slow a message down, never accelerate it.
+				extra = 0
+			}
+		}
 		if n.cfg.Loss > 0 && n.rng.Float64() < n.cfg.Loss {
 			n.Stats.LostLink.Inc()
 			continue
@@ -305,6 +360,10 @@ func (n *Network) emit(from node.ID, envs []Envelope) {
 		d := n.cfg.MinDelay
 		if !n.fixDelay {
 			d += n.rng.Intn(n.cfg.MaxDelay - n.cfg.MinDelay + 1)
+		}
+		d += extra
+		if d >= len(n.queue) {
+			n.growQueue(d + 1)
 		}
 		slot := int(uint64(n.round+Round(d)) % uint64(len(n.queue)))
 		s := n.queue[slot]
@@ -316,6 +375,31 @@ func (n *Network) emit(from node.ID, envs []Envelope) {
 		}
 		n.queue[slot] = append(s, delivery{from: from, to: e.To, msg: e.Msg})
 		n.inFlight++
+	}
+}
+
+// growQueue widens the delay ring to at least need slots, re-bucketing
+// every pending delivery. The ring is sized for Config.MaxDelay at New;
+// fault-injected extra delay can exceed that, and growth happens at most
+// a handful of times per run (the ring only ever widens). Slot i of the
+// old ring holds the unique due round r ≡ i (mod L) in (round, round+L],
+// and a slot's deliveries all share one round, so moving whole slices
+// preserves per-round enqueue order exactly.
+func (n *Network) growQueue(need int) {
+	old := n.queue
+	oldLen := len(old)
+	n.queue = make([][]delivery, need)
+	base := n.round + 1 // earliest possibly-pending round
+	baseSlot := int(uint64(base) % uint64(oldLen))
+	for i, s := range old {
+		if len(s) == 0 {
+			if s != nil {
+				n.free = append(n.free, s[:0])
+			}
+			continue
+		}
+		r := base + Round((i-baseSlot+oldLen)%oldLen)
+		n.queue[int(uint64(r)%uint64(need))] = s
 	}
 }
 
@@ -400,7 +484,7 @@ func (n *Network) InFlight() int { return n.inFlight }
 
 // String summarises fabric statistics.
 func (n *Network) String() string {
-	return fmt.Sprintf("round=%d alive=%d sent=%d delivered=%d lostLink=%d lostDead=%d",
+	return fmt.Sprintf("round=%d alive=%d sent=%d delivered=%d lostLink=%d lostDead=%d lostFault=%d",
 		n.round, n.Size(), n.Stats.Sent.Value(), n.Stats.Delivered.Value(),
-		n.Stats.LostLink.Value(), n.Stats.LostDead.Value())
+		n.Stats.LostLink.Value(), n.Stats.LostDead.Value(), n.Stats.LostFault.Value())
 }

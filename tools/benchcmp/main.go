@@ -1,0 +1,104 @@
+// Command benchcmp compares a freshly measured ddbench JSON report
+// against a committed baseline report and flags throughput regressions.
+//
+// It matches rows by (nodes, workers) and compares rounds_per_sec; rows
+// without a counterpart in the baseline are skipped (the committed
+// baseline usually mixes full-scale and CI-scale measurements — only
+// the overlapping configurations are comparable). By default a
+// regression prints a GitHub Actions warning annotation and the command
+// still exits 0, because absolute throughput also moves with runner
+// hardware; -strict turns regressions into a non-zero exit for local
+// gating.
+//
+// Usage:
+//
+//	benchcmp -baseline BENCH_simscale.json -current simscale_ci.json -threshold 20
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// row is the subset of a ddbench simscale result row the comparison
+// needs; unknown fields are ignored.
+type row struct {
+	Nodes        int     `json:"nodes"`
+	Workers      int     `json:"workers"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+}
+
+type report struct {
+	Benchmark string `json:"benchmark"`
+	Results   []row  `json:"results"`
+}
+
+func load(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_simscale.json", "committed baseline report")
+		currentPath  = flag.String("current", "simscale_ci.json", "freshly measured report")
+		threshold    = flag.Float64("threshold", 20, "regression threshold in percent")
+		strict       = flag.Bool("strict", false, "exit non-zero on regression instead of only warning")
+	)
+	flag.Parse()
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+
+	base := make(map[[2]int]row, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[[2]int{r.Nodes, r.Workers}] = r
+	}
+
+	compared, regressions := 0, 0
+	for _, cur := range current.Results {
+		ref, ok := base[[2]int{cur.Nodes, cur.Workers}]
+		if !ok || ref.RoundsPerSec <= 0 {
+			continue
+		}
+		compared++
+		change := (cur.RoundsPerSec/ref.RoundsPerSec - 1) * 100
+		status := "ok"
+		if change <= -*threshold {
+			status = "REGRESSION"
+			regressions++
+			// GitHub Actions annotation — visible on the run summary
+			// without failing the job (unless -strict).
+			fmt.Printf("::warning title=bench regression::simscale N=%d W=%d: %.2f rounds/sec vs baseline %.2f (%.1f%%)\n",
+				cur.Nodes, cur.Workers, cur.RoundsPerSec, ref.RoundsPerSec, change)
+		}
+		fmt.Printf("N=%-6d W=%-2d %10.2f rounds/sec  baseline %10.2f  %+7.1f%%  %s\n",
+			cur.Nodes, cur.Workers, cur.RoundsPerSec, ref.RoundsPerSec, change, status)
+	}
+	if compared == 0 {
+		fmt.Printf("benchcmp: no overlapping (nodes, workers) rows between %s and %s — nothing compared\n",
+			*currentPath, *baselinePath)
+		return
+	}
+	fmt.Printf("benchcmp: %d row(s) compared, %d regression(s) beyond %.0f%%\n", compared, regressions, *threshold)
+	if *strict && regressions > 0 {
+		os.Exit(1)
+	}
+}
