@@ -10,6 +10,8 @@
 //	ddbench -run C1,C2,C3 -csv out/        # dissemination suite + CSVs
 //	ddbench -run throughput -json BENCH_throughput.json
 //	ddbench -run scenarios -scenario split-brain -workers 1,4
+//	ddbench -run scenarios -scenario slow-node -converge   # convergence overhaul on
+//	ddbench -run scenarios -both                           # legacy AND converge rows
 //	ddbench -list
 //
 // Besides the experiment IDs, -run throughput sweeps the pipelined
@@ -42,6 +44,8 @@ func main() {
 		jsonOut  = flag.String("json", "", "file to write the selected run's report as JSON (with -run throughput, simscale or scenarios)")
 		workers  = flag.String("workers", "1", "comma-separated fabric worker counts to sweep (with -run simscale or scenarios)")
 		scenario = flag.String("scenario", "all", "scenario name(s) for -run scenarios (comma-separated, or 'all')")
+		converge = flag.Bool("converge", false, "enable the convergence overhaul in -run scenarios (segmented range sync, supersession, read-repair) and measure full convergence incl. bystander copies")
+		both     = flag.Bool("both", false, "with -run scenarios, sweep each scenario in legacy AND converge mode")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -86,7 +90,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ddbench: -workers: %v\n", err)
 			os.Exit(2)
 		}
-		if err := runScenarios(*seed, *scale, *scenario, *jsonOut, ws); err != nil {
+		modes := []bool{*converge}
+		if *both {
+			modes = []bool{false, true}
+		}
+		if err := runScenarios(*seed, *scale, *scenario, *jsonOut, ws, modes); err != nil {
 			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
 			os.Exit(1)
 		}

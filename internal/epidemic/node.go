@@ -18,6 +18,7 @@ import (
 	"datadroplets/internal/gossip"
 	"datadroplets/internal/histogram"
 	"datadroplets/internal/membership"
+	"datadroplets/internal/metrics"
 	"datadroplets/internal/node"
 	"datadroplets/internal/randomwalk"
 	"datadroplets/internal/repair"
@@ -86,6 +87,11 @@ type Config struct {
 	// origin so the soft layer can build its directory. Default true
 	// (set NoHints to disable).
 	NoHints bool
+	// ReadRepair makes a read origin that observes divergent versions
+	// among its responders push the winning tuple to the stale ones —
+	// detect-and-correct on the read path, complementing the background
+	// range sync. Off by default (traces stay byte-identical).
+	ReadRepair bool
 }
 
 func (c Config) normalized() Config {
@@ -184,12 +190,20 @@ type (
 	}
 )
 
+// maxReads bounds the per-node outstanding-read registry; the oldest
+// states are evicted first (late replies to them are then ignored).
+const maxReads = 1024
+
 // ReadState tracks an outstanding read at its origin.
 type ReadState struct {
 	Key     string
 	Tuple   *tuple.Tuple
 	Replies int
 	Hit     bool
+	// responders records who answered with which version so the
+	// read-repair path (Config.ReadRepair) can push the winning tuple
+	// to stale responders; each responder is repaired at most once.
+	responders repair.Responders
 }
 
 // ScanState tracks an outstanding ordered scan at its origin.
@@ -221,7 +235,13 @@ type Node struct {
 
 	nextReq uint64
 	reads   map[uint64]*ReadState
-	scans   map[uint64]*ScanState
+	// readOrder tracks read request IDs in creation order (IDs are
+	// monotonic per node) so Lookup can evict the oldest states once
+	// maxReads is exceeded — fire-and-forget callers (e.g. a scenario
+	// read workload that never calls ForgetRead) must not grow the map
+	// without bound.
+	readOrder []uint64
+	scans     map[uint64]*ScanState
 
 	// OnHint, when set, receives storage acknowledgements for writes
 	// this node originated (wired to the soft layer's directory).
@@ -229,6 +249,9 @@ type Node struct {
 
 	// Stored counts sieve-accepted applications (C4 balance metric).
 	Stored int64
+	// ReadRepairs counts winning tuples pushed to stale read responders
+	// (Config.ReadRepair).
+	ReadRepairs metrics.Counter
 }
 
 var _ sim.Machine = (*Node)(nil)
@@ -463,6 +486,25 @@ func (n *Node) Lookup(key string, hints []node.ID, probes, ttl int) (uint64, []s
 	n.nextReq++
 	reqID := uint64(n.Self)<<32 | n.nextReq
 	n.reads[reqID] = &ReadState{Key: key}
+	n.readOrder = append(n.readOrder, reqID)
+	for len(n.reads) > maxReads && len(n.readOrder) > 0 {
+		old := n.readOrder[0]
+		n.readOrder = n.readOrder[1:]
+		delete(n.reads, old) // no-op for states already forgotten
+	}
+	// Compact the order slice once it is dominated by forgotten reads
+	// (ForgetRead deletes map entries but leaves their slots behind):
+	// without this, a caller that forgets every read grows the slice
+	// forever while the map stays small. Amortised O(1).
+	if len(n.readOrder) > 2*len(n.reads)+16 {
+		kept := n.readOrder[:0]
+		for _, id := range n.readOrder {
+			if _, live := n.reads[id]; live {
+				kept = append(kept, id)
+			}
+		}
+		n.readOrder = kept
+	}
 	var envs []sim.Envelope
 	if t, ok := n.St.Get(key); ok {
 		// Local hit: resolve immediately.
@@ -625,7 +667,8 @@ func (n *Node) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
 		}
 	case randomwalk.WalkMsg, randomwalk.WalkResult:
 		out = n.Walker.Handle(now, from, msg)
-	case repair.SyncReq, repair.SyncVersions, repair.SyncPull, repair.SyncPush, repair.AdoptReq:
+	case repair.SyncReq, repair.SyncVersions, repair.SyncPull, repair.SyncPush, repair.AdoptReq,
+		repair.SegSyncReq, repair.SegSyncResp, repair.SupersedeQuery, repair.SupersedeResp:
 		if n.Repair != nil {
 			out = n.Repair.Handle(now, from, msg)
 		}
@@ -651,6 +694,10 @@ func (n *Node) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
 					st.Tuple = m.Tuple
 				}
 				st.Hit = true
+				if n.cfg.ReadRepair {
+					st.responders.Observe(from, m.Tuple.Version)
+					out = st.responders.Repair(st.Tuple, &n.ReadRepairs)
+				}
 			}
 		}
 	case ScanReq:

@@ -349,3 +349,68 @@ func TestAntiEntropyCatchesUpRebootedNode(t *testing.T) {
 		t.Fatal("anti-entropy did not catch up the rebooted node")
 	}
 }
+
+func TestReadRepairPushesWinnerToStaleResponder(t *testing.T) {
+	// Background repair is muted (checks effectively never fire) so the
+	// only convergence path in play is read-repair; the repair manager
+	// itself stays wired, since it handles the SyncPush the repair sends.
+	c := newCluster(8, 51, Config{Replication: 3, ReadRepair: true,
+		Repair: repair.Config{CheckEvery: 1 << 20}})
+	c.net.Run(10)
+	key := "rr-key"
+	// Nodes 2 and 3 hold divergent versions; the origin (node 1) reads
+	// both via hints and must asynchronously push v5 to the stale node.
+	c.nodes[2].St.Apply(mk(key, 5, "new"))
+	c.nodes[3].St.Apply(mk(key, 2, "old"))
+	reqID, envs := c.nodes[1].Lookup(key, []node.ID{2, 3}, 0, 0)
+	c.net.Emit(1, envs)
+	c.net.Run(12)
+	st, ok := c.nodes[1].Read(reqID)
+	if !ok || !st.Hit || st.Tuple.Version.Seq != 5 {
+		t.Fatalf("read state = %+v, want hit at v5", st)
+	}
+	got, ok := c.nodes[3].St.Get(key)
+	if !ok || got.Version.Seq != 5 {
+		t.Fatalf("stale responder has %v, want read-repaired to v5", got)
+	}
+	if c.nodes[1].ReadRepairs.Value() == 0 {
+		t.Fatal("ReadRepairs counter did not move")
+	}
+	// The fresh responder was never "repaired".
+	if got, _ := c.nodes[2].St.Get(key); got.Version.Seq != 5 {
+		t.Fatalf("fresh responder has %v, want untouched v5", got)
+	}
+}
+
+func TestReadRepairDisabledByDefault(t *testing.T) {
+	c := newCluster(8, 53, Config{Replication: 3,
+		Repair: repair.Config{CheckEvery: 1 << 20}})
+	c.net.Run(10)
+	key := "rr-off"
+	c.nodes[2].St.Apply(mk(key, 5, "new"))
+	c.nodes[3].St.Apply(mk(key, 2, "old"))
+	_, envs := c.nodes[1].Lookup(key, []node.ID{2, 3}, 0, 0)
+	c.net.Emit(1, envs)
+	c.net.Run(12)
+	if got, _ := c.nodes[3].St.Get(key); got.Version.Seq != 2 {
+		t.Fatalf("stale responder has %v; default config must not read-repair", got)
+	}
+	if c.nodes[1].ReadRepairs.Value() != 0 {
+		t.Fatal("ReadRepairs counted with the feature off")
+	}
+}
+
+func TestReadOrderCompactsWhenReadsAreForgotten(t *testing.T) {
+	c := newCluster(4, 55, Config{Replication: 2, DisableRepair: true})
+	c.net.Run(5)
+	n := c.nodes[1]
+	n.St.Apply(mk("ro", 1, "v"))
+	// A caller that forgets every read must not grow the order slice.
+	for i := 0; i < 5000; i++ {
+		reqID, _ := n.Lookup("ro", nil, 0, 0) // local hit: no traffic
+		n.ForgetRead(reqID)
+	}
+	if len(n.readOrder) > 2*len(n.reads)+16 {
+		t.Fatalf("readOrder grew to %d with %d live reads", len(n.readOrder), len(n.reads))
+	}
+}

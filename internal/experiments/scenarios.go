@@ -94,9 +94,21 @@ type ScenarioConfig struct {
 	// FaultRounds overrides the scenario's fault-window length.
 	FaultRounds int
 	// MaxRecovery bounds the post-fault convergence wait. Zero means 600
-	// (the slow-node tail needs several hundred rounds of periodic range
-	// sync to clear its last stale keeper copies).
+	// (the legacy whole-arc range sync needs several hundred rounds to
+	// clear the slow-node scenario's last stale keeper copies).
 	MaxRecovery int
+	// Converge enables the convergence overhaul: segmented range sync
+	// with staleness-priority scheduling, bystander supersession hints,
+	// and read-repair (driven by a small read workload, see
+	// ReadsPerRound). With it on, the recovery phase additionally waits
+	// for *full* convergence — every copy fresh, bystanders included —
+	// and reports rounds_to_full_convergence.
+	Converge bool
+	// ReadsPerRound is the read load driving read-repair during the
+	// fault window and recovery. Zero means 4 when Converge is set, else
+	// no reads (the legacy write-only workload, trace-identical to
+	// before).
+	ReadsPerRound int
 }
 
 func (c ScenarioConfig) normalized() (ScenarioConfig, error) {
@@ -133,6 +145,12 @@ func (c ScenarioConfig) normalized() (ScenarioConfig, error) {
 	if c.MaxRecovery <= 0 {
 		c.MaxRecovery = 600
 	}
+	if c.Converge && c.ReadsPerRound == 0 {
+		c.ReadsPerRound = 4
+	}
+	if c.ReadsPerRound < 0 {
+		c.ReadsPerRound = 0 // negative: explicitly no read workload
+	}
 	return c, nil
 }
 
@@ -165,12 +183,34 @@ type ScenarioResult struct {
 	StaleKeepers        float64 `json:"stale_keeper_copies"`
 	StalenessAtFaultEnd float64 `json:"staleness_at_fault_end"`
 	// Rounds after the fault window until every key was fresh-available
-	// with zero stale copies (-1 if MaxRecovery elapsed first).
+	// and no *responsible* (keeper) replica served an outdated version
+	// (-1 if MaxRecovery elapsed first). Stale bystander copies are
+	// excluded here; RoundsToFullConverge includes them.
 	RoundsToConverge int  `json:"rounds_to_converge"`
 	Converged        bool `json:"converged"`
-	// Mean alive replicas per key once converged (or at the recovery
-	// cap).
+	// Rounds after the fault window until every live copy — bystander
+	// retentions included — held the latest version (-1 if MaxRecovery
+	// elapsed first; only measured with Converge, the legacy recovery
+	// loop stops at keeper convergence).
+	RoundsToFullConverge int  `json:"rounds_to_full_convergence"`
+	FullConverged        bool `json:"full_converged"`
+	// Mean alive *keeper* replicas per key once converged (or at the
+	// recovery cap): copies held by nodes currently responsible for the
+	// key. Bystander copies are reported separately below, not folded in.
 	MeanReplicasEnd float64 `json:"mean_replicas_end"`
+	// Mean bystander copies per key at the end of the run — last-resort
+	// retentions on nodes outside every arc. Supersession must keep this
+	// bounded under sustained rewrites.
+	BystanderCopiesEnd float64 `json:"bystander_copies_end"`
+
+	// Repair-traffic counters summed across nodes at the end of the run.
+	SyncSegments         int64 `json:"sync_segments"`
+	TuplesPushed         int64 `json:"tuples_pushed"`
+	ReadRepairs          int64 `json:"read_repairs"`
+	BystandersSuperseded int64 `json:"bystanders_superseded"`
+
+	// ConvergeMode records whether the convergence overhaul was enabled.
+	ConvergeMode bool `json:"converge"`
 
 	Sent      int64 `json:"sent"`
 	Delivered int64 `json:"delivered"`
@@ -199,20 +239,27 @@ func (r *ScenarioResult) Digest() uint64 {
 	h = mix(h, uint64(r.AliveEnd))
 	h = mix(h, r.StoreDigest)
 	h = mix(h, uint64(int64(r.RoundsToConverge)))
+	h = mix(h, uint64(int64(r.RoundsToFullConverge)))
 	h = mix(h, math.Float64bits(r.AvailAny))
 	h = mix(h, math.Float64bits(r.AvailFresh))
 	h = mix(h, math.Float64bits(r.StaleCopies))
 	h = mix(h, math.Float64bits(r.StaleKeepers))
 	h = mix(h, math.Float64bits(r.StalenessAtFaultEnd))
 	h = mix(h, math.Float64bits(r.MeanReplicasEnd))
+	h = mix(h, math.Float64bits(r.BystanderCopiesEnd))
+	h = mix(h, uint64(r.SyncSegments))
+	h = mix(h, uint64(r.TuplesPushed))
+	h = mix(h, uint64(r.ReadRepairs))
+	h = mix(h, uint64(r.BystandersSuperseded))
 	return h
 }
 
 // String renders the headline numbers.
 func (r *ScenarioResult) String() string {
-	return fmt.Sprintf("%s N=%d W=%d avail=%.3f fresh=%.3f stale=%.3f stale@end=%.3f converge=%d replicas=%.2f digest=%016x",
+	return fmt.Sprintf("%s N=%d W=%d avail=%.3f fresh=%.3f stale=%.3f stale@end=%.3f converge=%d full=%d replicas=%.2f bystanders=%.2f digest=%016x",
 		r.Scenario, r.Nodes, r.Workers, r.AvailAny, r.AvailFresh, r.StaleCopies,
-		r.StalenessAtFaultEnd, r.RoundsToConverge, r.MeanReplicasEnd, r.Digest())
+		r.StalenessAtFaultEnd, r.RoundsToConverge, r.RoundsToFullConverge,
+		r.MeanReplicasEnd, r.BystanderCopiesEnd, r.Digest())
 }
 
 // scenarioProbe tracks per-key oracle state for one measurement pass.
@@ -228,6 +275,7 @@ type scenarioProbe struct {
 	copies       int // live copies of tracked keys across alive nodes
 	staleCopies  int // copies whose version is behind the latest write
 	staleKeepers int // stale copies on nodes currently responsible for the key
+	bystanders   int // copies on nodes not responsible for the key (stale or not)
 }
 
 func newScenarioProbe(keys int) *scenarioProbe {
@@ -250,7 +298,7 @@ func (p *scenarioProbe) observe(net *sim.Network, nodes []*epidemic.Node) {
 		p.fresh[i] = false
 		p.holders[i] = 0
 	}
-	p.copies, p.staleCopies, p.staleKeepers = 0, 0, 0
+	p.copies, p.staleCopies, p.staleKeepers, p.bystanders = 0, 0, 0, 0
 	for _, en := range nodes {
 		if !net.Alive(en.Self) {
 			continue
@@ -264,18 +312,27 @@ func (p *scenarioProbe) observe(net *sim.Network, nodes []*epidemic.Node) {
 				return true
 			}
 			p.anyHit[ki] = true
-			p.holders[ki]++
 			p.copies++
+			// A copy on a node that currently covers the key is a keeper
+			// replica — the redundancy the repair machinery maintains. A
+			// bystander copy (an old write-origin's last-resort retention
+			// outside every arc) serves reads but is counted separately:
+			// folding it into the replica count would hide accretion.
+			covers := en.Repair != nil && en.Repair.Covers(p.points[ki])
+			if covers {
+				p.holders[ki]++
+			} else {
+				p.bystanders++
+			}
 			if t.Version.Seq == p.latest[ki] {
 				p.fresh[ki] = true
 			} else {
 				p.staleCopies++
-				// A stale copy on a node that currently covers the key is a
-				// responsible replica serving old data — the repair
-				// machinery's debt. A stale bystander copy (an old write's
-				// publisher retention outside every arc) is inert: reads
-				// resolve by version, and no protocol owes it an update.
-				if en.Repair != nil && en.Repair.Covers(p.points[ki]) {
+				// Stale keeper: a responsible replica serving old data —
+				// the repair machinery's hard debt. A stale bystander is
+				// read-resolved past by version, but supersession still
+				// owes it a drop or refresh (see fullConverged).
+				if covers {
 					p.staleKeepers++
 				}
 			}
@@ -303,10 +360,10 @@ func (p *scenarioProbe) staleKeeperFrac() float64 {
 	return float64(p.staleKeepers) / float64(p.copies)
 }
 
-// converged reports repair completion: every key fresh-reachable and no
-// responsible replica serving an outdated version. Stale bystander
-// copies (publisher retentions outside every arc) are excluded — no
-// protocol owes them an update and reads resolve past them by version.
+// converged reports keeper repair completion: every key fresh-reachable
+// and no responsible replica serving an outdated version. Stale
+// bystander copies (publisher retentions outside every arc) are excluded
+// — reads resolve past them by version; fullConverged includes them.
 func (p *scenarioProbe) converged() bool {
 	if p.staleKeepers > 0 {
 		return false
@@ -317,6 +374,28 @@ func (p *scenarioProbe) converged() bool {
 		}
 	}
 	return true
+}
+
+// fullConverged reports total convergence: every key fresh-reachable and
+// not a single live copy — bystander retentions included — behind the
+// latest version. This is the criterion the supersession and read-repair
+// machinery is accountable to.
+func (p *scenarioProbe) fullConverged() bool {
+	if p.staleCopies > 0 {
+		return false
+	}
+	for _, f := range p.fresh {
+		if !f {
+			return false
+		}
+	}
+	return true
+}
+
+// bystanderMean returns the mean bystander copies per key of the last
+// observe pass.
+func (p *scenarioProbe) bystanderMean() float64 {
+	return float64(p.bystanders) / float64(len(p.anyHit))
 }
 
 // fractions returns the available-any and fresh fractions of the last
@@ -335,8 +414,8 @@ func (p *scenarioProbe) fractions() (anyFrac, freshFrac float64) {
 	return float64(a) / n, float64(f) / n
 }
 
-// meanHolders returns the mean alive replica count of the last observe
-// pass.
+// meanHolders returns the mean alive keeper-replica count of the last
+// observe pass (bystander copies are counted by bystanderMean, not here).
 func (p *scenarioProbe) meanHolders() float64 {
 	sum := 0
 	for _, h := range p.holders {
@@ -368,6 +447,13 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			Grace:       8,
 			OrphanBatch: 2,
 		},
+	}
+	if cfg.Converge {
+		ecfg.ReadRepair = true
+		ecfg.Repair.SegBits = 3 // 8 sub-range digests per sync
+		ecfg.Repair.SupersedeEvery = 4
+		ecfg.Repair.SupersedeBatch = 16
+		ecfg.Repair.SupersedePeers = 4
 	}
 	net := sim.New(sim.Config{Seed: cfg.Seed, Workers: cfg.Workers})
 	defer net.Close()
@@ -410,10 +496,28 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		}
 		net.Emit(origin, nodes[origin-1].Write(net.Round(), t))
 	}
+	// The read workload drives read-repair (Converge mode). Reads draw
+	// from their own seeded stream so the write/fault streams are
+	// untouched; with ReadsPerRound == 0 no stream is consumed and the
+	// trace is byte-identical to the legacy write-only workload.
+	rrng := rand.New(rand.NewSource(cfg.Seed ^ 0x4ead4ead))
+	readKey := func() {
+		alive := net.AliveIDs()
+		if len(alive) == 0 {
+			return
+		}
+		origin := alive[rrng.Intn(len(alive))]
+		ki := rrng.Intn(cfg.Keys)
+		_, envs := nodes[origin-1].Lookup(keyName(ki), nil, 3, 2)
+		net.Emit(origin, envs)
+	}
 	rounds := 0
-	step := func(writes int) {
+	step := func(writes, reads int) {
 		for i := 0; i < writes; i++ {
 			writeKey(wrng.Intn(cfg.Keys))
+		}
+		for i := 0; i < reads; i++ {
+			readKey()
 		}
 		sc.Step()
 		net.Step()
@@ -424,7 +528,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 
 	// Settle, then preload the whole key space and let it disseminate.
 	for i := 0; i < cfg.Warmup; i++ {
-		step(0)
+		step(0, 0)
 	}
 	const preloadRounds = 16
 	per := (cfg.Keys + preloadRounds - 1) / preloadRounds
@@ -434,10 +538,10 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			writeKey(next)
 			next++
 		}
-		step(0)
+		step(0, 0)
 	}
 	for i := 0; i < 15; i++ {
-		step(0)
+		step(0, 0)
 	}
 
 	// Schedule the fault window starting at the next round boundary.
@@ -480,7 +584,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	// Fault window: sustained writes, oracle measurement every round.
 	var sumAny, sumFresh, sumStale, sumStaleKeep float64
 	for r := 0; r < cfg.FaultRounds; r++ {
-		step(cfg.WritesPerRound)
+		step(cfg.WritesPerRound, cfg.ReadsPerRound)
 		probe.observe(net, nodes)
 		a, f := probe.fractions()
 		sumAny += a
@@ -500,21 +604,38 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		StaleKeepers: sumStaleKeep / float64(cfg.FaultRounds),
 	}
 	res.StalenessAtFaultEnd = probe.staleFrac()
+	res.ConvergeMode = cfg.Converge
 
-	// Recovery: writes stop; converge means every key fresh-available
-	// and no responsible (keeper) replica still serving an outdated
-	// version — stale bystander copies are excluded, see converged().
+	// Recovery: writes stop (reads continue in Converge mode to drive
+	// read-repair). Keeper convergence — every key fresh-available, no
+	// responsible replica serving old data — is the legacy criterion and
+	// stop point; in Converge mode the run continues until *full*
+	// convergence, which additionally requires every bystander retention
+	// to be fresh (see fullConverged).
 	res.RoundsToConverge = -1
+	res.RoundsToFullConverge = -1
 	for r := 1; r <= cfg.MaxRecovery; r++ {
-		step(0)
+		step(0, cfg.ReadsPerRound)
 		probe.observe(net, nodes)
-		if probe.converged() {
+		if probe.fullConverged() {
+			if res.RoundsToConverge < 0 {
+				res.RoundsToConverge = r
+				res.Converged = true
+			}
+			res.RoundsToFullConverge = r
+			res.FullConverged = true
+			break
+		}
+		if res.RoundsToConverge < 0 && probe.converged() {
 			res.RoundsToConverge = r
 			res.Converged = true
-			break
+			if !cfg.Converge {
+				break // legacy stop: bystander copies are not waited for
+			}
 		}
 	}
 	res.MeanReplicasEnd = probe.meanHolders()
+	res.BystanderCopiesEnd = probe.bystanderMean()
 
 	res.Rounds = rounds
 	res.ElapsedSeconds = time.Since(start).Seconds()
@@ -527,6 +648,12 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	full := node.FullArc()
 	for i, en := range nodes {
 		res.StoreDigest ^= en.St.DigestArc(full) * (uint64(i)*2 + 1)
+		if en.Repair != nil {
+			res.SyncSegments += en.Repair.Segments.Value()
+			res.TuplesPushed += en.Repair.Pushed
+			res.BystandersSuperseded += en.Repair.Superseded.Value()
+		}
+		res.ReadRepairs += en.ReadRepairs.Value()
 	}
 	return res, nil
 }

@@ -136,6 +136,43 @@ func (a Arc) String() string {
 	return fmt.Sprintf("[%016x,%016x)", uint64(a.Start), uint64(a.End()))
 }
 
+// Intersects reports whether the two arcs share any point. On a circle
+// an overlap, when it exists, begins at one of the two start points, so
+// two containment checks decide it exactly.
+func (a Arc) Intersects(b Arc) bool {
+	if a.Width == 0 || b.Width == 0 {
+		return false
+	}
+	return a.Contains(b.Start) || b.Contains(a.Start)
+}
+
+// SubArc returns the i-th of n equal segments of the arc (0 <= i < n).
+// The integer remainder of the division is folded into the last segment,
+// so the n segments partition the arc exactly: every point of the arc
+// lies in exactly one segment, and SegIndex agrees with the partition.
+// The arc must satisfy Width >= n (callers with narrower arcs should not
+// segment them).
+func (a Arc) SubArc(i, n int) Arc {
+	segWidth := a.Width / uint64(n)
+	start := a.Start + Point(uint64(i)*segWidth)
+	width := segWidth
+	if i == n-1 {
+		width = a.Width - uint64(n-1)*segWidth
+	}
+	return Arc{Start: start, Width: width}
+}
+
+// SegIndex returns which of the arc's n equal segments (see SubArc)
+// contains p. The caller must ensure a.Contains(p) and Width >= n.
+func (a Arc) SegIndex(p Point, n int) int {
+	segWidth := a.Width / uint64(n)
+	i := int(uint64(p-a.Start) / segWidth)
+	if i > n-1 {
+		i = n - 1 // remainder offsets fold into the last segment
+	}
+	return i
+}
+
 // span is a non-wrapping interval used internally by the coverage math.
 type span struct{ lo, hi uint64 } // [lo, hi], inclusive hi to allow full-ring
 

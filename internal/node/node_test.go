@@ -242,3 +242,68 @@ func TestSuccessorIndex(t *testing.T) {
 		}
 	}
 }
+
+func TestSubArcPartitionsExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		arc := Arc{Start: Point(rng.Uint64()), Width: rng.Uint64()}
+		n := []int{2, 4, 8, 16}[trial%4]
+		if arc.Width < uint64(n) {
+			continue
+		}
+		// Segments must tile the arc: widths sum to the arc width and
+		// each segment starts where the previous ended.
+		var total uint64
+		next := arc.Start
+		for i := 0; i < n; i++ {
+			sub := arc.SubArc(i, n)
+			if sub.Start != next {
+				t.Fatalf("segment %d/%d of %v starts at %v, want %v", i, n, arc, sub.Start, next)
+			}
+			total += sub.Width
+			next = sub.End()
+		}
+		if total != arc.Width {
+			t.Fatalf("segments of %v cover %d, want %d", arc, total, arc.Width)
+		}
+		// SegIndex must agree with segment membership for sampled points.
+		for j := 0; j < 32; j++ {
+			p := arc.Start + Point(rng.Uint64()%arc.Width)
+			i := arc.SegIndex(p, n)
+			if i < 0 || i >= n {
+				t.Fatalf("SegIndex(%v) = %d out of range", p, i)
+			}
+			if !arc.SubArc(i, n).Contains(p) {
+				t.Fatalf("point %v assigned to segment %d of %v which does not contain it", p, i, arc)
+			}
+		}
+	}
+}
+
+func TestArcIntersects(t *testing.T) {
+	a := Arc{Start: 100, Width: 100} // [100, 200)
+	tests := []struct {
+		b    Arc
+		want bool
+	}{
+		{Arc{Start: 150, Width: 10}, true},             // inside
+		{Arc{Start: 50, Width: 100}, true},             // overlaps the front
+		{Arc{Start: 199, Width: 100}, true},            // overlaps the tail
+		{Arc{Start: 200, Width: 50}, false},            // adjacent after
+		{Arc{Start: 0, Width: 100}, false},             // adjacent before
+		{Arc{Start: 0, Width: 0}, false},               // empty
+		{FullArc(), true},                              // full ring
+		{Arc{Start: ^Point(0) - 50, Width: 200}, true}, // wraps over start
+	}
+	for _, tt := range tests {
+		if got := a.Intersects(tt.b); got != tt.want {
+			t.Fatalf("%v.Intersects(%v) = %v, want %v", a, tt.b, got, tt.want)
+		}
+		if got := tt.b.Intersects(a); got != tt.want {
+			t.Fatalf("%v.Intersects(%v) = %v, want %v (asymmetric)", tt.b, a, got, tt.want)
+		}
+	}
+	if (Arc{Start: 0, Width: 0}).Intersects(Arc{Start: 0, Width: 0}) {
+		t.Fatal("two empty arcs intersect")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"datadroplets/internal/membership"
+	"datadroplets/internal/metrics"
 	"datadroplets/internal/node"
 	"datadroplets/internal/randomwalk"
 	"datadroplets/internal/sieve"
@@ -64,6 +65,46 @@ type Config struct {
 	// OrphanRecheck is how many rounds an orphan rests after being
 	// handed off before it is re-examined. Zero means 100.
 	OrphanRecheck int
+
+	// SegBits enables segmented range sync: arcs are summarised as
+	// 2^SegBits sub-range digests and reconciliation recurses only into
+	// mismatching segments (a digest tree over the arc). It also enables
+	// the staleness-priority scheduler: arcs with recent digest
+	// mismatches are re-synced every HotSyncEvery rounds instead of
+	// waiting for their round-robin CheckEvery turn. Zero keeps the
+	// legacy whole-arc SyncReq handshake, byte-identical to before.
+	SegBits int
+	// SegLeafKeys is the segment size (in locally stored keys) at which
+	// recursion stops and key-level versions are exchanged. Zero means 16.
+	SegLeafKeys int
+	// HotSyncEvery is the round interval of priority re-syncs for arcs
+	// with outstanding mismatches (only with SegBits > 0). Zero means 3.
+	HotSyncEvery int
+	// HotBatch bounds priority re-syncs per interval. Zero means 2.
+	HotBatch int
+	// HotRetire drops a hot arc after that many re-syncs without a clean
+	// confirmation (the peer may be gone). Zero means 12.
+	HotRetire int
+
+	// SupersedeEvery enables retention-aware supersession: every that
+	// many rounds the node sends (key, version) hints for a window of
+	// its store to a few sampled peers. A responsible peer holding an
+	// equal-or-newer version lets a *bystander* copy (held outside the
+	// node's responsibility, e.g. a write publisher's last-resort
+	// retention) drop; a peer that is behind gets the newer tuple
+	// pushed; and any peer holding strictly newer refreshes the hinted
+	// copy in place — version-level anti-entropy that reaches even keys
+	// in rarely-checked adopted slivers. Zero disables (legacy
+	// behaviour: bystander copies only leave via the orphan walk sweep).
+	SupersedeEvery int
+	// SupersedeBatch bounds hinted keys per supersession exchange. Zero
+	// means 8.
+	SupersedeBatch int
+	// SupersedePeers is how many sampled peers receive each hint batch.
+	// In an unstructured overlay only a fraction of peers covers a given
+	// key, so fanning the same batch out to a few peers multiplies the
+	// chance of reaching a keeper per sweep. Zero means 2.
+	SupersedePeers int
 }
 
 func (c Config) normalized() Config {
@@ -97,6 +138,24 @@ func (c Config) normalized() Config {
 	if c.OrphanRecheck == 0 {
 		c.OrphanRecheck = 100
 	}
+	if c.SegLeafKeys == 0 {
+		c.SegLeafKeys = 16
+	}
+	if c.HotSyncEvery == 0 {
+		c.HotSyncEvery = 3
+	}
+	if c.HotBatch == 0 {
+		c.HotBatch = 2
+	}
+	if c.HotRetire == 0 {
+		c.HotRetire = 12
+	}
+	if c.SupersedeBatch == 0 {
+		c.SupersedeBatch = 8
+	}
+	if c.SupersedePeers == 0 {
+		c.SupersedePeers = 2
+	}
 	return c
 }
 
@@ -122,7 +181,85 @@ type (
 		Arc    node.Arc
 		Tuples []*tuple.Tuple
 	}
+
+	// SegSyncReq opens a segmented synchronisation (SegBits > 0): the
+	// arc summarised as equal sub-range digests. The receiver compares
+	// against its own segment vector and answers mismatching segments
+	// with either key-level versions (small segments) or a recursive
+	// SegSyncReq one level down the digest tree.
+	SegSyncReq struct {
+		Arc     node.Arc
+		Digests []uint64
+	}
+	// SegSyncResp reports the comparison outcome for the whole request:
+	// Clean means every segment matched. The requester's staleness-
+	// priority scheduler keys off it — a dirty arc is re-synced every
+	// HotSyncEvery rounds until a clean confirmation arrives.
+	SegSyncResp struct {
+		Arc   node.Arc
+		Clean bool
+	}
+
+	// KeyVersion is one supersession hint: "I hold this version of this
+	// key" — what the receiver answers depends on which side is
+	// responsible and who is fresher (see SupersedeResp).
+	KeyVersion struct {
+		Key     string
+		Version tuple.Version
+	}
+	// SupersedeQuery carries bystander (key, version) hints to a peer.
+	SupersedeQuery struct {
+		Hints []KeyVersion
+	}
+	// SupersedeResp answers the hints the receiver can say something
+	// useful about: Held lists keys it covers and stores at an
+	// equal-or-newer version (the bystander may drop its copy), Want
+	// lists keys it holds or covers at an older version (the hinting
+	// node pushes its newer tuple), and Newer carries tuples the
+	// responder holds at a strictly newer version than hinted — whether
+	// or not it covers them — so stale bystander copies converge to the
+	// latest version even before a keeper is found.
+	SupersedeResp struct {
+		Held  []KeyVersion
+		Want  []string
+		Newer []*tuple.Tuple
+	}
 )
+
+// Responders accumulates which replicas answered a read with which
+// version, and issues at-most-once SyncPush repairs of the winning
+// tuple to the stale ones. The soft-node and epidemic read paths share
+// it so the read-repair selection rule lives in exactly one place.
+type Responders []responder
+
+type responder struct {
+	id       node.ID
+	version  tuple.Version
+	repaired bool
+}
+
+// Observe records one responder's answered version.
+func (rs *Responders) Observe(id node.ID, v tuple.Version) {
+	*rs = append(*rs, responder{id: id, version: v})
+}
+
+// Repair pushes winner to every recorded responder whose replied
+// version it supersedes, marking each repaired at most once (a newer
+// winner arriving later repairs the responders recorded before it).
+// fired counts the pushes issued.
+func (rs Responders) Repair(winner *tuple.Tuple, fired *metrics.Counter) []sim.Envelope {
+	var out []sim.Envelope
+	for i := range rs {
+		r := &rs[i]
+		if r.repaired || !r.version.Less(winner.Version) {
+			continue
+		}
+		r.repaired = true
+		fired.Inc()
+		out = append(out, sim.Envelope{To: r.id, Msg: SyncPush{Tuples: []*tuple.Tuple{winner}}})
+	}
+	return out
+}
 
 // pendingCheck tracks an outstanding walk probe for one arc.
 type pendingCheck struct {
@@ -147,6 +284,7 @@ type Manager struct {
 	deficitSince map[node.Point]sim.Round // arc start -> first round deficit seen
 	pending      []pendingCheck
 	arcCursor    int
+	probeSpin    uint64 // rotates the walk-probe point across arc eighths
 
 	// Orphan handoff state: stored tuples that drifted outside the
 	// node's responsibility (sieve arcs move with N̂) still need their
@@ -155,6 +293,27 @@ type Manager struct {
 	pendingOrphans []pendingOrphan
 	orphanDone     map[string]sim.Round
 
+	// hot is the staleness-priority schedule (SegBits > 0): arcs whose
+	// last digest comparison mismatched, keyed by arc, with the peer the
+	// mismatch was observed against. Hot arcs are re-synced every
+	// HotSyncEvery rounds until a clean confirmation clears them.
+	hot map[node.Arc]*hotArc
+
+	// checkQueue holds arcs this node just learned it may be behind on —
+	// a pushed tuple applied inside its responsibility, or a supersession
+	// hint it could not confirm. They are walk-checked at priority (next
+	// HotSyncEvery tick) instead of waiting their round-robin turn.
+	checkQueue []node.Arc
+	queued     map[node.Arc]bool
+
+	// supersedeCursor walks the store across supersession sweeps.
+	supersedeCursor string
+	// confirms records, per bystander key, the first keeper that
+	// answered Held: the copy is only released when a *second, distinct*
+	// keeper confirms, so one keeper crashing right after its
+	// confirmation cannot take the sole surviving latest copy with it.
+	confirms map[string]node.ID
+
 	// Counters for experiment C7.
 	Checks    int64
 	Syncs     int64
@@ -162,6 +321,16 @@ type Manager struct {
 	Recruits  int64
 	Abandoned int64 // adopted arcs released after overshoot
 	Handoffs  int64 // orphaned tuples pushed to their current coverers
+
+	// Repair-traffic counters surfaced in ddbench scenario rows.
+	Segments   metrics.Counter // sub-range digests exchanged (segmented sync)
+	Superseded metrics.Counter // bystander copies dropped after a Held answer
+}
+
+// hotArc is one staleness-priority schedule entry.
+type hotArc struct {
+	peer  node.ID
+	tries int
 }
 
 type pendingOrphan struct {
@@ -187,6 +356,9 @@ func New(self node.ID, rng *rand.Rand, base sieve.ArcSieve, st *store.Store,
 		cfg:          cfg.normalized(),
 		deficitSince: make(map[node.Point]sim.Round),
 		orphanDone:   make(map[string]sim.Round),
+		hot:          make(map[node.Arc]*hotArc),
+		queued:       make(map[node.Arc]bool),
+		confirms:     make(map[string]node.ID),
 	}
 }
 
@@ -215,6 +387,25 @@ func (m *Manager) Covers(p node.Point) bool {
 	}
 	for _, a := range m.adopted {
 		if a.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// coversAnyOf reports whether any part of the effective responsibility
+// intersects the arc — segmented sync uses it to tell shared segments
+// (both sides accountable for the range) from foreign ones (content the
+// requester holds beyond this node's arcs, which is not this node's
+// debt and must not keep the comparison dirty).
+func (m *Manager) coversAnyOf(arc node.Arc) bool {
+	for _, a := range m.base.Arcs() {
+		if a.Intersects(arc) {
+			return true
+		}
+	}
+	for _, a := range m.adopted {
+		if a.Intersects(arc) {
 			return true
 		}
 	}
@@ -251,6 +442,13 @@ func (m *Manager) Tick(now sim.Round) []sim.Envelope {
 	var out []sim.Envelope
 	out = append(out, m.harvest(now)...)
 	out = append(out, m.harvestOrphans(now)...)
+	if m.cfg.SegBits > 0 && now%sim.Round(m.cfg.HotSyncEvery) == 0 {
+		out = append(out, m.syncHot()...)
+		out = append(out, m.checkQueued(now)...)
+	}
+	if m.cfg.SupersedeEvery > 0 && now%sim.Round(m.cfg.SupersedeEvery) == 0 {
+		out = append(out, m.sweepBystanders()...)
+	}
 	if now%sim.Round(m.cfg.CheckEvery) != 0 {
 		return out
 	}
@@ -264,13 +462,198 @@ func (m *Manager) Tick(now sim.Round) []sim.Envelope {
 	if arc.Width == 0 {
 		return out
 	}
-	// Probe the arc's midpoint: one walk set answers for every tuple in
-	// the range at once (the paper's cost reduction).
-	probe := arc.Start + node.Point(arc.Width/2)
-	setID, envs := m.walker.Launch(randomwalk.Query{Point: probe}, m.cfg.Walks, m.cfg.TTL)
+	setID, envs := m.walker.Launch(randomwalk.Query{Point: m.probePoint(arc)}, m.cfg.Walks, m.cfg.TTL)
 	m.pending = append(m.pending, pendingCheck{arc: arc, setID: setID, launchedAt: now})
 	m.Checks++
 	out = append(out, envs...)
+	return out
+}
+
+// probePoint picks the walk-probe position for an arc check: one walk
+// set answers for every tuple in the range at once (the paper's cost
+// reduction). The legacy scheduler always probes the midpoint; with
+// SegBits > 0 the probe walks a low-discrepancy (Weyl) sequence across
+// the arc, because peer arcs overlap this one only partially — a fixed
+// probe point discovers the same holder subset forever, and a peer
+// whose overlap is a narrow sliver would never be paired with, leaving
+// the keys it alone knows the latest version of stale indefinitely.
+func (m *Manager) probePoint(arc node.Arc) node.Point {
+	if m.cfg.SegBits <= 0 {
+		return arc.Start + node.Point(arc.Width/2)
+	}
+	m.probeSpin++
+	// Golden-ratio multiplicative recurrence: successive probes are
+	// maximally spread and eventually sample every overlap sliver.
+	offset := (m.probeSpin * 0x9e3779b97f4a7c15) % arc.Width
+	return arc.Start + node.Point(offset)
+}
+
+// syncMsg builds one range-sync opener toward a peer: the segmented
+// digest vector when enabled and the arc is wide enough to split, the
+// legacy whole-arc digest otherwise.
+func (m *Manager) syncMsg(arc node.Arc) any {
+	nseg := 1 << m.cfg.SegBits
+	if m.cfg.SegBits <= 0 || arc.Width < uint64(nseg) {
+		return SyncReq{Arc: arc, Digest: m.st.DigestArc(arc)}
+	}
+	digests, _ := m.st.SegmentDigests(arc, nseg)
+	m.Segments.Add(int64(nseg))
+	return SegSyncReq{Arc: arc, Digests: digests}
+}
+
+// syncHot is the staleness-priority scheduler: re-sync arcs with an
+// outstanding mismatch against the peer the mismatch was observed with,
+// instead of waiting for their round-robin CheckEvery turn. Arcs are
+// visited in ring order for determinism; entries retire after HotRetire
+// attempts without a clean confirmation.
+func (m *Manager) syncHot() []sim.Envelope {
+	if len(m.hot) == 0 {
+		return nil
+	}
+	arcs := make([]node.Arc, 0, len(m.hot))
+	for a := range m.hot {
+		arcs = append(arcs, a)
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].Start != arcs[j].Start {
+			return arcs[i].Start < arcs[j].Start
+		}
+		return arcs[i].Width < arcs[j].Width
+	})
+	var out []sim.Envelope
+	sent := 0
+	for _, a := range arcs {
+		h := m.hot[a]
+		if h.tries >= m.cfg.HotRetire {
+			delete(m.hot, a)
+			continue
+		}
+		if sent >= m.cfg.HotBatch {
+			break
+		}
+		h.tries++
+		m.Syncs++
+		out = append(out, sim.Envelope{To: h.peer, Msg: m.syncMsg(a)})
+		sent++
+	}
+	return out
+}
+
+// noteBehind schedules a priority walk-check of the responsibility arc
+// containing p: the node just learned it was behind for the point (a
+// peer pushed a tuple it lacked, or hinted a version it could not
+// confirm), so the latest content for the range should be hunted down
+// now, not at the arc's round-robin turn. Only active with SegBits > 0.
+func (m *Manager) noteBehind(p node.Point) {
+	if m.cfg.SegBits <= 0 || len(m.checkQueue) >= 16 {
+		return
+	}
+	// Per-tuple path: walk base and adopted arcs in place (like Covers)
+	// rather than materialising Arcs() per pushed tuple.
+	for _, a := range m.base.Arcs() {
+		if a.Contains(p) {
+			m.queueCheck(a)
+			return
+		}
+	}
+	for _, a := range m.adopted {
+		if a.Contains(p) {
+			m.queueCheck(a)
+			return
+		}
+	}
+}
+
+// queueCheck enqueues an arc for a priority walk-check, once.
+func (m *Manager) queueCheck(a node.Arc) {
+	if !m.queued[a] {
+		m.queued[a] = true
+		m.checkQueue = append(m.checkQueue, a)
+	}
+}
+
+// checkQueued launches the walk probe for one queued arc — the same
+// check the round-robin scheduler performs, just ahead of its turn.
+func (m *Manager) checkQueued(now sim.Round) []sim.Envelope {
+	if len(m.checkQueue) == 0 {
+		return nil
+	}
+	arc := m.checkQueue[0]
+	m.checkQueue = m.checkQueue[1:]
+	delete(m.queued, arc)
+	if arc.Width == 0 {
+		return nil
+	}
+	setID, envs := m.walker.Launch(randomwalk.Query{Point: m.probePoint(arc)}, m.cfg.Walks, m.cfg.TTL)
+	m.pending = append(m.pending, pendingCheck{arc: arc, setID: setID, launchedAt: now})
+	m.Checks++
+	return envs
+}
+
+// markHot records a digest mismatch for the arc against peer, scheduling
+// it for priority re-sync. A repeated mismatch refreshes the entry (the
+// retire clock restarts); a full schedule drops new entries — the
+// round-robin checks still cover every arc eventually.
+func (m *Manager) markHot(arc node.Arc, peer node.ID) {
+	if h, ok := m.hot[arc]; ok {
+		h.peer = peer
+		h.tries = 0
+		return
+	}
+	if len(m.hot) >= 64 {
+		return
+	}
+	m.hot[arc] = &hotArc{peer: peer}
+}
+
+// sweepBystanders scans a window of the store for copies outside the
+// node's responsibility and hints their (key, version) pairs to one
+// sampled peer — the retention-aware supersession path that bounds
+// bystander accretion without the cost of a walk set per key.
+//
+// Every copy is hinted, not only bystanders: for a copy this node is
+// responsible for, a fresher holder's Newer answer refreshes it in
+// place — cheap version-level anti-entropy that reaches even keys whose
+// arc sits in a rarely-checked adopted sliver. Only bystander copies
+// are ever *dropped* (the receiver-side Covers guard enforces it).
+func (m *Manager) sweepBystanders() []sim.Envelope {
+	hints := make([]KeyVersion, 0, m.cfg.SupersedeBatch)
+	visited := 0
+	var last string
+	// Borrowed walk: only the key (a value copy) and version leave the
+	// callback.
+	m.st.ScanRef(m.supersedeCursor, 0, func(t *tuple.Tuple) bool {
+		visited++
+		last = t.Key
+		if visited > 256 || len(hints) >= m.cfg.SupersedeBatch {
+			return false
+		}
+		hints = append(hints, KeyVersion{Key: t.Key, Version: t.Version})
+		return true
+	})
+	if visited <= 256 && len(hints) < m.cfg.SupersedeBatch {
+		m.supersedeCursor = "" // reached the end: wrap
+	} else {
+		m.supersedeCursor = last
+	}
+	if len(hints) == 0 {
+		return nil
+	}
+	// Fan the batch out to a few peers (one shared boxed message): only
+	// ~r/N of peers covers a given key, so a single target would leave
+	// most sweeps unanswered.
+	peers := m.sampler.Sample(m.cfg.SupersedePeers)
+	if len(peers) == 0 {
+		return nil
+	}
+	msg := any(SupersedeQuery{Hints: hints})
+	out := make([]sim.Envelope, 0, len(peers))
+	for _, p := range peers {
+		if p == m.self {
+			continue
+		}
+		out = append(out, sim.Envelope{To: p, Msg: msg})
+	}
 	return out
 }
 
@@ -347,8 +730,15 @@ func (m *Manager) harvestOrphans(now sim.Round) []sim.Envelope {
 			}
 		}
 		// The tuple is fully replicated at its proper owners: release the
-		// last-resort copy so origin stores stay bounded.
-		if len(holders) >= m.cfg.Replication && !m.Covers(t.Point()) {
+		// last-resort copy so origin stores stay bounded. Convergent mode
+		// (SupersedeEvery > 0) does NOT release here: walk samples only
+		// prove the holders *cover* the point, not that they store this
+		// key at this version, and the handoff pushes emitted above may
+		// still be lost — dropping on that evidence could destroy the
+		// only latest copy. The supersession exchange retires the copy
+		// instead, once a keeper explicitly confirms an equal-or-newer
+		// version (and its floor then keeps the retirement final).
+		if m.cfg.SupersedeEvery == 0 && len(holders) >= m.cfg.Replication && !m.Covers(t.Point()) {
 			m.st.Drop(po.key)
 			delete(m.orphanDone, po.key)
 		}
@@ -408,7 +798,7 @@ func (m *Manager) judge(now sim.Round, arc node.Arc, set *randomwalk.Set) []sim.
 		if h == m.self {
 			continue
 		}
-		out = append(out, sim.Envelope{To: h, Msg: SyncReq{Arc: arc, Digest: m.st.DigestArc(arc)}})
+		out = append(out, sim.Envelope{To: h, Msg: m.syncMsg(arc)})
 		m.Syncs++
 	}
 	target := float64(m.cfg.Replication)
@@ -468,6 +858,21 @@ func (m *Manager) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
 		}}}
 	case SyncVersions:
 		return m.reconcile(from, msg)
+	case SegSyncReq:
+		return m.handleSegSync(from, msg)
+	case SegSyncResp:
+		// Clean confirmations clear the priority schedule. Dirty verdicts
+		// do NOT mark arcs hot by themselves: hotness is driven by pulls
+		// (evidence this node was behind, see reconcile) — a peer can stay
+		// digest-dirty forever about content it refuses to hold, and that
+		// must not re-trigger priority syncs.
+		if m.cfg.SegBits > 0 && msg.Clean {
+			delete(m.hot, msg.Arc)
+		}
+	case SupersedeQuery:
+		return m.handleSupersedeQuery(from, msg)
+	case SupersedeResp:
+		return m.handleSupersedeResp(from, msg)
 	case SyncPull:
 		tuples := make([]*tuple.Tuple, 0, len(msg.Keys))
 		for _, k := range msg.Keys {
@@ -483,12 +888,36 @@ func (m *Manager) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
 	case SyncPush:
 		var newer []*tuple.Tuple
 		for _, t := range msg.Tuples {
-			if !m.st.Apply(t) {
-				// Rejected as stale: read-repair the sender so last-resort
-				// copies converge to the latest version.
-				if cur, ok := m.st.GetAny(t.Key); ok && t.Version.Less(cur.Version) {
-					newer = append(newer, cur)
+			keep := m.Keep(t)
+			if m.cfg.SegBits > 0 && !keep && m.st.Version(t.Key).IsZero() {
+				// Convergent mode: refuse content that is neither ours to
+				// keep nor already held. Arc syncs exchange the requester's
+				// whole arc, which can exceed this node's overlapping
+				// responsibility — applying the excess would mint fresh
+				// bystander copies faster than supersession retires them.
+				continue
+			}
+			if keep {
+				// Responsibility trumps retirement: a keeper must accept
+				// the very version it may once have discarded as a
+				// redundant bystander copy, or the range could never
+				// restore its replica count from the surviving copies.
+				m.st.ClearFloor(t.Key)
+			}
+			if m.st.Apply(t) {
+				// The peer knew a version we lacked: if the tuple is ours
+				// to keep, the range deserves a priority re-check — the
+				// push may itself be stale (e.g. a bystander restoring
+				// redundancy), and only the co-keepers can confirm.
+				if m.Covers(t.Point()) {
+					m.noteBehind(t.Point())
 				}
+				continue
+			}
+			// Rejected as stale: read-repair the sender so last-resort
+			// copies converge to the latest version.
+			if cur, ok := m.st.GetAny(t.Key); ok && t.Version.Less(cur.Version) {
+				newer = append(newer, cur)
 			}
 		}
 		if len(newer) > 0 {
@@ -504,6 +933,186 @@ func (m *Manager) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
 	return nil
 }
 
+// handleSegSync answers one level of the digest tree: compare the
+// peer's segment vector against local state, answer mismatching
+// segments with key-level versions (small segments) or a recursive
+// SegSyncReq one level down, and confirm the overall outcome so the
+// requester's priority scheduler can keep or clear the arc.
+func (m *Manager) handleSegSync(from node.ID, msg SegSyncReq) []sim.Envelope {
+	n := len(msg.Digests)
+	if n == 0 {
+		return nil
+	}
+	if msg.Arc.Width < uint64(n) {
+		// Too narrow to segment (defensive: syncMsg never sends these):
+		// fall back to whole-arc versions.
+		return []sim.Envelope{
+			{To: from, Msg: SyncVersions{Arc: msg.Arc, Versions: m.st.VersionsInArc(msg.Arc)}},
+			{To: from, Msg: SegSyncResp{Arc: msg.Arc, Clean: false}},
+		}
+	}
+	// One store pass: collect the arc's population, then serve the
+	// digest vector, leaf version maps and recursion sub-vectors from
+	// the collected set — re-walking the whole store per segment would
+	// cost exactly the O(dirty segments × store) the tree exists to
+	// avoid.
+	type segEntry struct {
+		key string
+		p   node.Point
+		v   tuple.Version
+	}
+	var ents []segEntry
+	m.st.ArcRefs(msg.Arc, func(key string, p node.Point, v tuple.Version) bool {
+		ents = append(ents, segEntry{key, p, v})
+		return true
+	})
+	mine := make([]uint64, n)
+	bySeg := make([][]int32, n)
+	for idx, e := range ents {
+		i := msg.Arc.SegIndex(e.p, n)
+		mine[i] ^= store.EntryHash(e.key, e.v)
+		bySeg[i] = append(bySeg[i], int32(idx))
+	}
+	var out []sim.Envelope
+	clean := true
+	for i := 0; i < n; i++ {
+		if mine[i] == msg.Digests[i] {
+			continue // segment identical: the recursion prunes it
+		}
+		sub := msg.Arc.SubArc(i, n)
+		if len(bySeg[i]) == 0 && !m.coversAnyOf(sub) {
+			// Foreign segment: the requester holds content in a range this
+			// node neither covers nor stores anything of. That difference
+			// is not this node's debt — exchanging it would only mint
+			// bystander copies — and it must not keep the verdict dirty,
+			// or partially-overlapping peers re-sync forever.
+			continue
+		}
+		clean = false
+		if len(bySeg[i]) <= m.cfg.SegLeafKeys || sub.Width < uint64(n) {
+			versions := make(map[string]tuple.Version, len(bySeg[i]))
+			for _, idx := range bySeg[i] {
+				versions[ents[idx].key] = ents[idx].v
+			}
+			out = append(out, sim.Envelope{To: from, Msg: SyncVersions{
+				Arc:      sub,
+				Versions: versions,
+			}})
+			continue
+		}
+		subDigests := make([]uint64, n)
+		for _, idx := range bySeg[i] {
+			e := ents[idx]
+			subDigests[sub.SegIndex(e.p, n)] ^= store.EntryHash(e.key, e.v)
+		}
+		m.Segments.Add(int64(n))
+		out = append(out, sim.Envelope{To: from, Msg: SegSyncReq{Arc: sub, Digests: subDigests}})
+	}
+	return append(out, sim.Envelope{To: from, Msg: SegSyncResp{Arc: msg.Arc, Clean: clean}})
+}
+
+// handleSupersedeQuery answers bystander hints. As a responsible keeper:
+// Held when the local version supersedes the hint (the bystander may
+// drop), Want when the bystander is ahead of — or unknown to — this
+// keeper and should push its copy. As a mere fellow holder: ship a
+// strictly newer version back (the stale bystander refreshes in place),
+// or ask for the hinted one when behind — so copies converge to the
+// latest version even before a hint reaches a keeper.
+func (m *Manager) handleSupersedeQuery(from node.ID, msg SupersedeQuery) []sim.Envelope {
+	var resp SupersedeResp
+	for _, h := range msg.Hints {
+		p := node.HashKey(h.Key)
+		covers := m.Covers(p)
+		v := m.st.Version(h.Key)
+		switch {
+		case covers && !v.IsZero() && !v.Less(h.Version):
+			resp.Held = append(resp.Held, KeyVersion{Key: h.Key, Version: v})
+		case covers:
+			// A bystander knows a version this keeper cannot confirm: ask
+			// for the copy, and priority-check the range — the hinted
+			// version may itself lag the newest keeper copy elsewhere.
+			resp.Want = append(resp.Want, h.Key)
+			m.noteBehind(p)
+		case v.IsZero():
+			// Neither responsible nor holding: nothing useful to answer.
+		case h.Version.Less(v):
+			if t, ok := m.st.GetAny(h.Key); ok {
+				resp.Newer = append(resp.Newer, t)
+			}
+		case v.Less(h.Version):
+			resp.Want = append(resp.Want, h.Key)
+		}
+	}
+	if len(resp.Held) == 0 && len(resp.Want) == 0 && len(resp.Newer) == 0 {
+		return nil
+	}
+	m.Pushed += int64(len(resp.Newer))
+	return []sim.Envelope{{To: from, Msg: resp}}
+}
+
+// handleSupersedeResp resolves a supersession exchange at the bystander:
+// drop copies a responsible keeper holds at an equal-or-newer version,
+// push the tuples a responsible keeper asked for. A key that vanished or
+// moved into local responsibility since the hint is left alone, so a
+// stale response can never drop data it should not — and a dropped key
+// is simply absent here, so late responses cannot resurrect it.
+func (m *Manager) handleSupersedeResp(from node.ID, msg SupersedeResp) []sim.Envelope {
+	for _, h := range msg.Held {
+		cur := m.st.Version(h.Key)
+		if cur.IsZero() || m.Covers(node.HashKey(h.Key)) {
+			continue
+		}
+		if h.Version.Less(cur) {
+			continue // we advanced past the keeper since the hint: keep
+		}
+		// Require confirmations from two distinct keepers before
+		// releasing the copy (one suffices at replication 1): a single
+		// confirming keeper could crash before range sync spreads the
+		// confirmed version, and this copy may be the only other one.
+		if m.cfg.Replication > 1 {
+			first, seen := m.confirms[h.Key]
+			if !seen || first == from {
+				if len(m.confirms) > 4096 {
+					// Rare overflow of half-confirmed keys: reset and let
+					// them re-confirm rather than grow without bound.
+					m.confirms = make(map[string]node.ID)
+				}
+				m.confirms[h.Key] = from
+				continue
+			}
+		}
+		// Discard (not Drop): the keeper-confirmed version becomes a
+		// supersession floor, so late or replayed traffic cannot
+		// resurrect the retired copy at an old version.
+		if m.st.Discard(h.Key, h.Version) {
+			delete(m.orphanDone, h.Key)
+			delete(m.confirms, h.Key)
+			m.Superseded.Inc()
+		}
+	}
+	for _, t := range msg.Newer {
+		// Refresh in place only: a key already dropped (or never held)
+		// must not be resurrected by a late response.
+		if !m.st.Version(t.Key).IsZero() {
+			m.st.Apply(t)
+		}
+	}
+	var push []*tuple.Tuple
+	for _, k := range msg.Want {
+		if t, ok := m.st.GetAny(k); ok {
+			push = append(push, t)
+		}
+	}
+	if len(push) == 0 {
+		return nil
+	}
+	if len(push) > m.cfg.MaxPush {
+		push = push[:m.cfg.MaxPush]
+	}
+	m.Pushed += int64(len(push))
+	return []sim.Envelope{{To: from, Msg: SyncPush{Tuples: push}}}
+}
+
 // reconcile diffs the peer's versions against local state: pull what the
 // peer has newer, push what we have newer.
 func (m *Manager) reconcile(from node.ID, msg SyncVersions) []sim.Envelope {
@@ -514,11 +1123,28 @@ func (m *Manager) reconcile(from node.ID, msg SyncVersions) []sim.Envelope {
 		ours, ok := mine[key]
 		switch {
 		case !ok || ours.Less(theirs):
+			if m.cfg.SegBits > 0 && !ok && !m.Covers(node.HashKey(key)) {
+				// Convergent mode: a key that is neither held nor covered
+				// is not this node's debt — pulling it would mint a fresh
+				// bystander copy.
+				continue
+			}
 			pull = append(pull, key)
 		case theirs.Less(ours):
 			if t, found := m.st.GetAny(key); found {
 				push = append(push, t)
 			}
+		}
+	}
+	if m.cfg.SegBits > 0 {
+		// Pulls are the evidence this node is behind for the range: keep
+		// it on the priority schedule until a sync round yields nothing to
+		// pull. Digest dirtiness alone (the peer missing content of ours
+		// it refuses to hold) does not warrant hammering.
+		if len(pull) > 0 {
+			m.markHot(msg.Arc, from)
+		} else {
+			delete(m.hot, msg.Arc)
 		}
 	}
 	for key := range mine {
@@ -553,6 +1179,7 @@ func (m *Manager) adopt(msg AdoptReq) {
 		if a == msg.Arc {
 			// Already responsible; just merge the data.
 			for _, t := range msg.Tuples {
+				m.st.ClearFloor(t.Key)
 				m.st.Apply(t)
 			}
 			return
@@ -560,6 +1187,9 @@ func (m *Manager) adopt(msg AdoptReq) {
 	}
 	m.adopted = append(m.adopted, msg.Arc)
 	for _, t := range msg.Tuples {
+		// Adoption makes this node responsible for the payload: lift any
+		// supersession floors so retired versions are re-admissible.
+		m.st.ClearFloor(t.Key)
 		m.st.Apply(t)
 	}
 	m.Recruits++ // counted on both ends: recruit sent and accepted

@@ -321,3 +321,341 @@ func TestSyncReqEqualDigestIsSilent(t *testing.T) {
 		t.Fatal("differing digests produced no version exchange")
 	}
 }
+
+func TestSegmentedSyncConvergesTwoHolders(t *testing.T) {
+	// The segmented counterpart of TestSyncConvergesTwoHolders: with
+	// SegBits on, the digest-tree handshake must converge divergent
+	// holders and actually exchange sub-range digests.
+	arc := node.Arc{Start: 0, Width: 1 << 62}
+	cfg := Config{Replication: 2, NEst: func() float64 { return 10 },
+		Walks: 60, TTL: 4, CheckEvery: 4, Grace: 1000, SegBits: 3}
+	c := newCluster(10, 3, cfg, func(i int) []node.Arc {
+		if i < 2 {
+			return []node.Arc{arc}
+		}
+		return nil
+	})
+	var inArc []string
+	for i := 0; len(inArc) < 6; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if arc.Contains(node.HashKey(k)) {
+			inArc = append(inArc, k)
+		}
+	}
+	for i, k := range inArc {
+		if i%2 == 0 {
+			c.nodes[1].st.Apply(mk(k, 1, "from1"))
+		} else {
+			c.nodes[2].st.Apply(mk(k, 1, "from2"))
+		}
+	}
+	c.net.Run(80)
+	for _, k := range inArc {
+		if _, ok := c.nodes[1].st.GetAny(k); !ok {
+			t.Fatalf("node 1 missing %q after segmented sync", k)
+		}
+		if _, ok := c.nodes[2].st.GetAny(k); !ok {
+			t.Fatalf("node 2 missing %q after segmented sync", k)
+		}
+	}
+	if c.nodes[1].mgr.Segments.Value()+c.nodes[2].mgr.Segments.Value() == 0 {
+		t.Fatal("no sub-range digests were exchanged")
+	}
+}
+
+func TestSegSyncForeignSegmentsAreClean(t *testing.T) {
+	// A peer that neither covers nor stores anything of a requested range
+	// must answer a clean verdict without exchanging versions: content it
+	// refuses to hold is not its debt, and a dirty verdict would keep
+	// partially-overlapping peers re-syncing forever.
+	rng := rand.New(rand.NewSource(21))
+	st := store.New(rng)
+	m := New(1, rng, &stubSieve{}, st, nil, nil, Config{SegBits: 3})
+	arc := node.Arc{Start: 0, Width: 1 << 40}
+	digests := make([]uint64, 8)
+	for i := range digests {
+		digests[i] = uint64(i + 1) // requester has content everywhere
+	}
+	envs := m.Handle(0, 2, SegSyncReq{Arc: arc, Digests: digests})
+	if len(envs) != 1 {
+		t.Fatalf("got %d envelopes, want only the verdict: %v", len(envs), envs)
+	}
+	resp, ok := envs[0].Msg.(SegSyncResp)
+	if !ok || !resp.Clean {
+		t.Fatalf("verdict = %v, want clean SegSyncResp", envs[0].Msg)
+	}
+}
+
+func TestSupersessionDropsConfirmedBystander(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	key := "sup-key"
+	arc := node.Arc{Start: node.HashKey(key), Width: 1024}
+	cfg := Config{SegBits: 3, SupersedeEvery: 4}
+
+	keeperSt := store.New(rng)
+	keeper := New(2, rng, &stubSieve{arcs: []node.Arc{arc}}, keeperSt, nil, nil, cfg)
+	keeperSt.Apply(mk(key, 3, "latest"))
+
+	bystSt := store.New(rng)
+	byst := New(1, rng, &stubSieve{}, bystSt, nil, nil, cfg)
+	bystSt.Apply(mk(key, 2, "stale"))
+
+	// Keeper holds v3 >= hinted v2: answers Held.
+	envs := keeper.Handle(0, 1, SupersedeQuery{Hints: []KeyVersion{{Key: key, Version: tuple.Version{Seq: 2, Writer: 1}}}})
+	if len(envs) != 1 {
+		t.Fatalf("keeper sent %d envelopes, want 1", len(envs))
+	}
+	resp, ok := envs[0].Msg.(SupersedeResp)
+	if !ok || len(resp.Held) != 1 || resp.Held[0].Version.Seq != 3 {
+		t.Fatalf("keeper answered %v, want Held at v3", envs[0].Msg)
+	}
+	// The bystander drops its copy and records the floor.
+	byst.Handle(1, 2, resp)
+	if _, held := bystSt.GetAny(key); held {
+		t.Fatal("bystander copy survived a Held answer")
+	}
+	if byst.Superseded.Value() != 1 {
+		t.Fatalf("Superseded = %d, want 1", byst.Superseded.Value())
+	}
+	// Neither a replayed push nor a late gossip redelivery resurrects it.
+	byst.Handle(2, 3, SyncPush{Tuples: []*tuple.Tuple{mk(key, 2, "replay")}})
+	if _, held := bystSt.GetAny(key); held {
+		t.Fatal("replayed push resurrected a superseded copy")
+	}
+	if bystSt.Apply(mk(key, 3, "gossip-replay")) {
+		t.Fatal("redelivery at the floor version resurrected a superseded copy")
+	}
+}
+
+func TestSupersessionWantPullsBystanderCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	key := "want-key"
+	arc := node.Arc{Start: node.HashKey(key), Width: 1024}
+	cfg := Config{SegBits: 3, SupersedeEvery: 4}
+
+	keeperSt := store.New(rng)
+	keeper := New(2, rng, &stubSieve{arcs: []node.Arc{arc}}, keeperSt, nil, nil, cfg)
+	keeperSt.Apply(mk(key, 1, "old"))
+
+	bystSt := store.New(rng)
+	byst := New(1, rng, &stubSieve{}, bystSt, nil, nil, cfg)
+	bystSt.Apply(mk(key, 4, "newest"))
+
+	envs := keeper.Handle(0, 1, SupersedeQuery{Hints: []KeyVersion{{Key: key, Version: tuple.Version{Seq: 4, Writer: 1}}}})
+	resp := envs[0].Msg.(SupersedeResp)
+	if len(resp.Want) != 1 || resp.Want[0] != key {
+		t.Fatalf("keeper answered %v, want Want(%s)", resp, key)
+	}
+	// The behind keeper also schedules a priority re-check of the range.
+	if len(keeper.checkQueue) != 1 {
+		t.Fatalf("checkQueue = %v, want the containing arc queued", keeper.checkQueue)
+	}
+	// The bystander pushes its newer copy; the keeper applies it.
+	push := byst.Handle(1, 2, resp)
+	if len(push) != 1 {
+		t.Fatalf("bystander sent %d envelopes, want 1 push", len(push))
+	}
+	keeper.Handle(2, 1, push[0].Msg)
+	if got, ok := keeperSt.GetAny(key); !ok || got.Version.Seq != 4 {
+		t.Fatalf("keeper has %v, want v4", got)
+	}
+}
+
+func TestSupersessionNewerRefreshesFellowBystander(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	key := "fresh-key"
+	cfg := Config{SegBits: 3, SupersedeEvery: 4}
+
+	// Neither node covers the key: both are bystanders.
+	aSt := store.New(rng)
+	a := New(1, rng, &stubSieve{}, aSt, nil, nil, cfg)
+	aSt.Apply(mk(key, 2, "stale"))
+
+	bSt := store.New(rng)
+	b := New(2, rng, &stubSieve{}, bSt, nil, nil, cfg)
+	bSt.Apply(mk(key, 5, "latest"))
+
+	envs := b.Handle(0, 1, SupersedeQuery{Hints: []KeyVersion{{Key: key, Version: tuple.Version{Seq: 2, Writer: 1}}}})
+	resp := envs[0].Msg.(SupersedeResp)
+	if len(resp.Newer) != 1 || resp.Newer[0].Version.Seq != 5 {
+		t.Fatalf("fellow holder answered %v, want Newer at v5", resp)
+	}
+	a.Handle(1, 2, resp)
+	if got, ok := aSt.GetAny(key); !ok || got.Version.Seq != 5 {
+		t.Fatalf("bystander refreshed to %v, want v5", got)
+	}
+	// A refresh must never resurrect: drop the copy, replay the response.
+	aSt.Discard(key, tuple.Version{Seq: 5, Writer: 1})
+	a.Handle(2, 2, resp)
+	if _, held := aSt.GetAny(key); held {
+		t.Fatal("late Newer response resurrected a discarded copy")
+	}
+}
+
+func TestHotSchedulerDrivenByPulls(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	st := store.New(rng)
+	arc := node.Arc{Start: 0, Width: 1 << 62}
+	m := New(1, rng, &stubSieve{arcs: []node.Arc{arc}}, st, nil, nil,
+		Config{SegBits: 3, HotSyncEvery: 3})
+
+	// A SyncVersions with something to pull marks the arc hot...
+	var key string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if arc.Contains(node.HashKey(k)) {
+			key = k
+			break
+		}
+	}
+	m.Handle(0, 2, SyncVersions{Arc: arc, Versions: map[string]tuple.Version{key: {Seq: 3, Writer: 1}}})
+	if len(m.hot) != 1 {
+		t.Fatalf("hot = %v, want the arc scheduled after a pull", m.hot)
+	}
+	// ...and the next HotSyncEvery tick re-syncs it with the peer.
+	envs := m.Tick(3)
+	found := false
+	for _, e := range envs {
+		if _, ok := e.Msg.(SegSyncReq); ok && e.To == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no priority SegSyncReq to the mismatch peer in %v", envs)
+	}
+	// A sync round with nothing to pull clears the schedule.
+	st.Apply(mk(key, 3, "caught-up"))
+	m.Handle(4, 2, SyncVersions{Arc: arc, Versions: map[string]tuple.Version{key: {Seq: 3, Writer: 1}}})
+	if len(m.hot) != 0 {
+		t.Fatalf("hot = %v, want cleared after an empty pull", m.hot)
+	}
+}
+
+func TestOrphanDiscardExactlyOnceNoResurrection(t *testing.T) {
+	// Satellite: an orphaned last-resort copy is handed off and released
+	// exactly once, never resurrected by a later gossip hint. Node 1
+	// holds a key outside its (empty) responsibility; nodes 2..4 cover
+	// it. The orphan sweep discovers them and hands the copy off; the
+	// release itself happens through the supersession exchange — only a
+	// keeper explicitly confirming an equal-or-newer version retires the
+	// copy (walk samples alone prove coverage, not possession) — and the
+	// recorded floor keeps replayed traffic from bringing it back.
+	arc := node.Arc{Start: 0, Width: 1 << 62}
+	cfg := Config{Replication: 3, NEst: func() float64 { return 12 },
+		Walks: 80, TTL: 4, CheckEvery: 4, WaitRounds: 7, Grace: 1000,
+		SegBits: 3, SupersedeEvery: 2, OrphanBatch: 4}
+	c := newCluster(12, 31, cfg, func(i int) []node.Arc {
+		if i >= 1 && i <= 3 {
+			return []node.Arc{arc}
+		}
+		return nil
+	})
+	var key string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if arc.Contains(node.HashKey(k)) {
+			key = k
+			break
+		}
+	}
+	orphanTuple := mk(key, 2, "payload")
+	c.nodes[1].st.Apply(orphanTuple) // node 1 covers nothing: a pure last-resort copy
+	c.net.Run(120)
+	// The copy moved to coverers and left the origin exactly once.
+	holding := 0
+	for id, tn := range c.nodes {
+		if _, ok := tn.st.GetAny(key); ok {
+			if id == 1 {
+				t.Fatal("orphan copy still on the origin after handoff")
+			}
+			holding++
+		}
+	}
+	if holding < cfg.Replication {
+		t.Fatalf("%d nodes hold the tuple after handoff, want >= %d", holding, cfg.Replication)
+	}
+	// The copy reached the keepers through the supersession Want path
+	// (hint → keeper asks → origin pushes) and/or the walk handoff, and
+	// was released exactly once, on a keeper-confirmed Held answer.
+	if c.nodes[1].mgr.Superseded.Value() != 1 {
+		t.Fatalf("Superseded = %d, want exactly 1 keeper-confirmed release", c.nodes[1].mgr.Superseded.Value())
+	}
+	// A later gossip hint (redelivered push) must not resurrect it.
+	c.nodes[1].mgr.Handle(c.net.Round(), 5, SyncPush{Tuples: []*tuple.Tuple{mk(key, 2, "replay")}})
+	if _, ok := c.nodes[1].st.GetAny(key); ok {
+		t.Fatal("late push resurrected the released orphan copy")
+	}
+	if !c.nodes[1].st.Apply(mk(key, 3, "genuinely-new")) {
+		t.Fatal("a genuinely newer write was refused by the floor")
+	}
+}
+
+func TestFloorLiftsWhenResponsibilityReturns(t *testing.T) {
+	// A node that discarded a bystander copy under a supersession floor
+	// must be able to re-accept that very version once it becomes
+	// responsible for the key again — via adoption or a keeper push —
+	// or the range could never restore its replica count from the
+	// surviving copies.
+	rng := rand.New(rand.NewSource(33))
+	key := "floor-key"
+	cfg := Config{SegBits: 3, SupersedeEvery: 4}
+
+	st := store.New(rng)
+	m := New(1, rng, &stubSieve{}, st, nil, nil, cfg)
+	st.Apply(mk(key, 5, "v5"))
+	st.Discard(key, tuple.Version{Seq: 5, Writer: 1})
+
+	// While a bystander, the replay stays refused.
+	m.Handle(0, 2, SyncPush{Tuples: []*tuple.Tuple{mk(key, 5, "replay")}})
+	if _, held := st.GetAny(key); held {
+		t.Fatal("bystander replay slipped past the floor")
+	}
+	// Adoption of an arc containing the key re-admits the same version.
+	m.Handle(1, 2, AdoptReq{
+		Arc:    node.Arc{Start: node.HashKey(key), Width: 10},
+		Tuples: []*tuple.Tuple{mk(key, 5, "restored")},
+	})
+	if got, ok := st.GetAny(key); !ok || got.Version.Seq != 5 {
+		t.Fatalf("adopted copy = %v, want v5 re-admitted past the floor", got)
+	}
+
+	// Same via a sync push to a node whose sieve grew over the key.
+	st2 := store.New(rng)
+	m2 := New(2, rng, &stubSieve{arcs: []node.Arc{{Start: node.HashKey(key), Width: 10}}}, st2, nil, nil, cfg)
+	st2.Apply(mk(key, 5, "v5"))
+	st2.Discard(key, tuple.Version{Seq: 5, Writer: 1})
+	m2.Handle(2, 3, SyncPush{Tuples: []*tuple.Tuple{mk(key, 5, "restored")}})
+	if got, ok := st2.GetAny(key); !ok || got.Version.Seq != 5 {
+		t.Fatalf("keeper push = %v, want v5 re-admitted past the floor", got)
+	}
+}
+
+func TestSupersessionNeedsTwoDistinctKeeperConfirmations(t *testing.T) {
+	// At replication > 1 a bystander copy is only released after two
+	// *different* keepers confirm an equal-or-newer version: a single
+	// confirming keeper could crash before range sync spreads the
+	// version, and this copy may be the only other one.
+	rng := rand.New(rand.NewSource(35))
+	key := "quorum-key"
+	cfg := Config{Replication: 3, SegBits: 3, SupersedeEvery: 4}
+	st := store.New(rng)
+	m := New(1, rng, &stubSieve{}, st, nil, nil, cfg)
+	st.Apply(mk(key, 2, "copy"))
+
+	held := SupersedeResp{Held: []KeyVersion{{Key: key, Version: tuple.Version{Seq: 3, Writer: 1}}}}
+	m.Handle(0, 2, held) // first keeper confirms
+	if _, ok := st.GetAny(key); !ok {
+		t.Fatal("copy released after a single confirmation")
+	}
+	m.Handle(1, 2, held) // same keeper again: still only one witness
+	if _, ok := st.GetAny(key); !ok {
+		t.Fatal("copy released on a repeated confirmation from the same keeper")
+	}
+	m.Handle(2, 3, held) // second, distinct keeper
+	if _, ok := st.GetAny(key); ok {
+		t.Fatal("copy survived two distinct keeper confirmations")
+	}
+	if m.Superseded.Value() != 1 {
+		t.Fatalf("Superseded = %d, want 1", m.Superseded.Value())
+	}
+}

@@ -61,7 +61,37 @@ type Store struct {
 	// node-local sums in O(1) instead of re-walking and cloning the
 	// whole store every epoch.
 	stats map[string]*attrStat
+
+	// floors records supersession watermarks: keys whose local copy was
+	// discarded as redundant (Discard), with the highest version known
+	// to be durably held elsewhere at that moment. Apply refuses
+	// versions at or below the floor, so a retired copy cannot be
+	// resurrected by late or replayed traffic — gossip redelivery,
+	// in-flight sync pushes, adoption payloads. A strictly newer apply
+	// lifts the floor (the held copy then carries the ordering itself).
+	floors    map[string]floorEntry
+	floorRing []floorSlot // insertion order, for deterministic eviction
+	floorGen  uint64      // ties ring slots to their map entries
 }
+
+// floorEntry is one supersession watermark; gen identifies the ring
+// slot that owns it, so a slot left behind by a lifted-then-reset floor
+// cannot evict the newer entry in its place.
+type floorEntry struct {
+	v   tuple.Version
+	gen uint64
+}
+
+// floorSlot is one insertion-order record of the floor ring.
+type floorSlot struct {
+	key string
+	gen uint64
+}
+
+// maxFloors bounds the watermark map; the oldest entries are evicted
+// first, after which an ancient replay could in principle resurrect a
+// copy — it would then be superseded again, exactly once more.
+const maxFloors = 8192
 
 // New creates an empty store. The rand source drives skiplist level
 // choice only; determinism of the whole simulation requires it to come
@@ -108,8 +138,12 @@ func (s *Store) find(key string, path *[maxLevel]*skipNode) *skipNode {
 }
 
 // Apply merges one tuple under last-writer-wins. It returns true if the
-// tuple was newer than local state and was applied.
+// tuple was newer than local state (and above any supersession floor)
+// and was applied.
 func (s *Store) Apply(t *tuple.Tuple) bool {
+	if f, ok := s.floors[t.Key]; ok && !f.v.Less(t.Version) {
+		return false // at or below the supersession watermark
+	}
 	var path [maxLevel]*skipNode
 	for i := s.level; i < maxLevel; i++ {
 		path[i] = s.head
@@ -123,6 +157,7 @@ func (s *Store) Apply(t *tuple.Tuple) bool {
 		existing.tup = t.Clone()
 		s.accountAdd(existing.tup)
 		s.logi++
+		delete(s.floors, t.Key) // newer content re-admitted: floor served
 		return true
 	}
 	if s.maxCap > 0 && s.bytes+int64(len(t.Value)) > s.maxCap {
@@ -146,7 +181,82 @@ func (s *Store) Apply(t *tuple.Tuple) bool {
 	s.total++
 	s.accountAdd(n.tup)
 	s.logi++
+	delete(s.floors, t.Key) // newer content re-admitted: floor served
 	return true
+}
+
+// Discard removes the entry like Drop and additionally records a
+// supersession floor at the maximum of the stored version and the given
+// one — the version some responsible replica confirmed holding. Future
+// Applies at or below the floor are refused, so the discarded copy
+// cannot be resurrected by late or replayed traffic. The repair layer's
+// supersession and orphan-handoff paths use it; plain responsibility
+// changes keep using Drop.
+func (s *Store) Discard(key string, floor tuple.Version) bool {
+	if n := s.find(key, nil); n != nil && floor.Less(n.tup.Version) {
+		floor = n.tup.Version
+	}
+	s.setFloor(key, floor)
+	return s.Drop(key)
+}
+
+// setFloor records or raises a key's supersession watermark, evicting
+// the oldest entries beyond maxFloors in insertion order. Ring slots
+// carry the generation of the map entry they were created for, so a
+// slot left behind by a floor that was lifted and later re-set cannot
+// evict the newer entry out of turn.
+func (s *Store) setFloor(key string, v tuple.Version) {
+	if v.IsZero() {
+		return
+	}
+	if s.floors == nil {
+		s.floors = make(map[string]floorEntry)
+	}
+	if cur, ok := s.floors[key]; ok {
+		if cur.v.Less(v) {
+			cur.v = v
+			s.floors[key] = cur // gen unchanged: same ring slot owns it
+		}
+		return
+	}
+	s.floorGen++
+	s.floors[key] = floorEntry{v: v, gen: s.floorGen}
+	s.floorRing = append(s.floorRing, floorSlot{key: key, gen: s.floorGen})
+	for len(s.floors) > maxFloors && len(s.floorRing) > 0 {
+		old := s.floorRing[0]
+		s.floorRing = s.floorRing[1:]
+		if e, ok := s.floors[old.key]; ok && e.gen == old.gen {
+			delete(s.floors, old.key)
+		}
+	}
+	// Compact the ring once it is dominated by dead slots (lifted floors
+	// leave their slots behind): without this, a key cycling through
+	// discard and re-admission grows the ring forever while the map
+	// stays small. Amortised O(1).
+	if len(s.floorRing) > 2*len(s.floors)+16 {
+		kept := s.floorRing[:0]
+		for _, sl := range s.floorRing {
+			if e, live := s.floors[sl.key]; live && e.gen == sl.gen {
+				kept = append(kept, sl)
+			}
+		}
+		s.floorRing = kept
+	}
+}
+
+// Floor returns the supersession watermark for key, if any.
+func (s *Store) Floor(key string) (tuple.Version, bool) {
+	e, ok := s.floors[key]
+	return e.v, ok
+}
+
+// ClearFloor removes a key's supersession watermark. The repair layer
+// calls it when the node becomes responsible for the key again
+// (adoption, sieve growth): a keeper must be able to re-accept the very
+// version it once retired as a redundant bystander copy, or the range
+// can never restore its replica count from the surviving copies.
+func (s *Store) ClearFloor(key string) {
+	delete(s.floors, key)
 }
 
 func (s *Store) accountAdd(t *tuple.Tuple) {
@@ -444,6 +554,46 @@ func (s *Store) DigestArc(arc node.Arc) uint64 {
 	}
 	return d
 }
+
+// SegmentDigests summarises the arc as n per-segment digests (the arc
+// split into n equal sub-ranges, remainder folded into the last — see
+// node.Arc.SubArc) plus the entry count per segment, in one store pass.
+// Two replicas compare segment vectors and recurse only into mismatching
+// segments, turning whole-arc reconciliation into a digest tree. The
+// caller must ensure arc.Width >= n.
+func (s *Store) SegmentDigests(arc node.Arc, n int) (digests []uint64, counts []int) {
+	digests = make([]uint64, n)
+	counts = make([]int, n)
+	for e := s.head.next[0]; e != nil; e = e.next[0] {
+		if arc.Contains(e.point) {
+			i := arc.SegIndex(e.point, n)
+			digests[i] ^= entryHash(e.key, e.tup.Version)
+			counts[i]++
+		}
+	}
+	return digests, counts
+}
+
+// ArcRefs visits entries (tombstones included) whose ring point lies in
+// the arc, in key order, passing the key, its cached ring point and the
+// stored version — borrowed iteration in a single pass. The segmented
+// sync handler uses it to collect an arc's population once and then
+// serve every digest-tree level from the collected set instead of
+// re-walking the store per segment.
+func (s *Store) ArcRefs(arc node.Arc, fn func(key string, p node.Point, v tuple.Version) bool) {
+	for e := s.head.next[0]; e != nil; e = e.next[0] {
+		if arc.Contains(e.point) {
+			if !fn(e.key, e.point, e.tup.Version) {
+				return
+			}
+		}
+	}
+}
+
+// EntryHash mixes a key and version into the 64-bit value arc and
+// segment digests are folded from — exported so digest consumers can
+// recompute sub-range digests from an already-collected entry set.
+func EntryHash(key string, v tuple.Version) uint64 { return entryHash(key, v) }
 
 // VersionsInArc returns key -> version for the arc, the exchange unit of
 // range reconciliation.

@@ -306,3 +306,122 @@ func BenchmarkGet(b *testing.B) {
 		s.Get(fmt.Sprintf("key-%d", i%100000))
 	}
 }
+
+func TestSegmentDigestsMatchSubArcDigests(t *testing.T) {
+	s := newStore()
+	for i := 0; i < 300; i++ {
+		s.Apply(mk(fmt.Sprintf("seg-%d", i), uint64(i%7+1), "v"))
+	}
+	arcs := []node.Arc{
+		{Start: 0, Width: 1 << 62},
+		{Start: ^node.Point(0) - 1000, Width: 1 << 40}, // wraps
+		node.FullArc(),
+	}
+	for _, arc := range arcs {
+		for _, n := range []int{2, 8, 16} {
+			digests, counts := s.SegmentDigests(arc, n)
+			var total int
+			for i := 0; i < n; i++ {
+				sub := arc.SubArc(i, n)
+				if want := s.DigestArc(sub); digests[i] != want {
+					t.Fatalf("arc %v seg %d/%d: digest %016x, DigestArc(sub) %016x", arc, i, n, digests[i], want)
+				}
+				if want := len(s.KeysInArc(sub)); counts[i] != want {
+					t.Fatalf("arc %v seg %d/%d: count %d, want %d", arc, i, n, counts[i], want)
+				}
+				total += counts[i]
+			}
+			if want := len(s.KeysInArc(arc)); total != want {
+				t.Fatalf("arc %v: segment counts sum to %d, want %d", arc, total, want)
+			}
+		}
+	}
+}
+
+func TestDiscardSetsResurrectionFloor(t *testing.T) {
+	s := newStore()
+	s.Apply(mk("k", 2, "v2"))
+	// Discard with a keeper-confirmed floor of 3: the copy goes away and
+	// neither the dropped version nor the floor version may come back.
+	if !s.Discard("k", tuple.Version{Seq: 3, Writer: 1}) {
+		t.Fatal("Discard did not remove the entry")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("entry survived Discard")
+	}
+	if f, ok := s.Floor("k"); !ok || f.Seq != 3 {
+		t.Fatalf("floor = %v, %v; want seq 3", f, ok)
+	}
+	if s.Apply(mk("k", 2, "replay")) {
+		t.Fatal("replayed old version resurrected a discarded copy")
+	}
+	if s.Apply(mk("k", 3, "replay")) {
+		t.Fatal("floor version resurrected a discarded copy")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("replay landed despite floor")
+	}
+	// Strictly newer content is re-admitted and lifts the floor.
+	if !s.Apply(mk("k", 4, "v4")) {
+		t.Fatal("genuinely newer version refused")
+	}
+	if _, ok := s.Floor("k"); ok {
+		t.Fatal("floor not lifted by newer apply")
+	}
+	if got, ok := s.Get("k"); !ok || string(got.Value) != "v4" {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+}
+
+func TestDiscardFloorDefaultsToStoredVersion(t *testing.T) {
+	s := newStore()
+	s.Apply(mk("k", 5, "v5"))
+	// A zero floor argument still floors at the stored version.
+	s.Discard("k", tuple.Version{})
+	if s.Apply(mk("k", 5, "replay")) {
+		t.Fatal("stored-version replay resurrected the copy")
+	}
+	if !s.Apply(mk("k", 6, "v6")) {
+		t.Fatal("newer version refused")
+	}
+}
+
+func TestFloorEvictionIsBounded(t *testing.T) {
+	s := newStore()
+	for i := 0; i < maxFloors+100; i++ {
+		k := fmt.Sprintf("f-%d", i)
+		s.Apply(mk(k, 1, "v"))
+		s.Discard(k, tuple.Version{})
+	}
+	if len(s.floors) > maxFloors {
+		t.Fatalf("floors grew to %d, cap is %d", len(s.floors), maxFloors)
+	}
+	// The newest floor survives; the oldest were evicted.
+	if _, ok := s.Floor(fmt.Sprintf("f-%d", maxFloors+99)); !ok {
+		t.Fatal("newest floor evicted")
+	}
+	if _, ok := s.Floor("f-0"); ok {
+		t.Fatal("oldest floor not evicted")
+	}
+}
+
+func TestFloorRingCompactsUnderDiscardReadmitCycles(t *testing.T) {
+	s := newStore()
+	// One key cycling through discard and re-admission forever must not
+	// grow the ring bookkeeping while the floor map stays tiny.
+	for i := 0; i < 2000; i++ {
+		seq := uint64(i + 1)
+		s.Apply(mk("cycle", seq, "v"))
+		s.Discard("cycle", tuple.Version{Seq: seq, Writer: 1})
+	}
+	if len(s.floorRing) > 2*len(s.floors)+16 {
+		t.Fatalf("floorRing grew to %d with only %d live floors", len(s.floorRing), len(s.floors))
+	}
+	// The surviving floor still works.
+	if s.Apply(mk("cycle", 2000, "replay")) {
+		t.Fatal("replay at the final floor version resurrected the copy")
+	}
+	if !s.Apply(mk("cycle", 2001, "newer")) {
+		t.Fatal("newer version refused")
+	}
+}

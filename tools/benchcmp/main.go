@@ -1,18 +1,27 @@
 // Command benchcmp compares a freshly measured ddbench JSON report
-// against a committed baseline report and flags throughput regressions.
+// against a committed baseline report and flags regressions. It handles
+// both report families, dispatching on the report's "benchmark" field:
 //
-// It matches rows by (nodes, workers) and compares rounds_per_sec; rows
-// without a counterpart in the baseline are skipped (the committed
-// baseline usually mixes full-scale and CI-scale measurements — only
-// the overlapping configurations are comparable). By default a
-// regression prints a GitHub Actions warning annotation and the command
-// still exits 0, because absolute throughput also moves with runner
-// hardware; -strict turns regressions into a non-zero exit for local
-// gating.
+//   - simscale: rows match by (nodes, workers); rounds_per_sec is
+//     compared against the threshold (percent).
+//   - scenarios: rows match by (scenario, nodes, workers, converge);
+//     availability_any (absolute drop > 0.02), stale_keeper_copies
+//     (absolute rise > 0.02) and rounds_to_convergence (relative rise
+//     beyond the threshold) are compared — the dependability envelope
+//     rather than throughput.
+//
+// Rows without a counterpart in the baseline are skipped (the committed
+// baselines mix full-scale and CI-scale measurements — only the
+// overlapping configurations are comparable). By default a regression
+// prints a GitHub Actions warning annotation and the command still
+// exits 0, because absolute numbers also move with runner hardware and
+// convergence rounds are heavy-tailed; -strict turns regressions into a
+// non-zero exit for local gating.
 //
 // Usage:
 //
 //	benchcmp -baseline BENCH_simscale.json -current simscale_ci.json -threshold 20
+//	benchcmp -baseline BENCH_scenarios.json -current scenarios_ci.json -threshold 50
 package main
 
 import (
@@ -22,17 +31,31 @@ import (
 	"os"
 )
 
-// row is the subset of a ddbench simscale result row the comparison
-// needs; unknown fields are ignored.
+// row is the union of the fields the two comparisons need; unknown
+// fields are ignored, absent ones stay zero.
 type row struct {
+	Scenario     string  `json:"scenario"`
 	Nodes        int     `json:"nodes"`
 	Workers      int     `json:"workers"`
+	Converge     bool    `json:"converge"`
 	RoundsPerSec float64 `json:"rounds_per_sec"`
+
+	AvailAny         float64 `json:"availability_any"`
+	StaleKeepers     float64 `json:"stale_keeper_copies"`
+	RoundsToConverge int     `json:"rounds_to_converge"`
 }
 
 type report struct {
 	Benchmark string `json:"benchmark"`
 	Results   []row  `json:"results"`
+}
+
+// scenarioKey identifies one scenario measurement configuration.
+type scenarioKey struct {
+	scenario string
+	nodes    int
+	workers  int
+	converge bool
 }
 
 func load(path string) (*report, error) {
@@ -66,13 +89,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
 		os.Exit(2)
 	}
+	if baseline.Benchmark != current.Benchmark {
+		fmt.Fprintf(os.Stderr, "benchcmp: report kinds differ: %q vs %q\n", baseline.Benchmark, current.Benchmark)
+		os.Exit(2)
+	}
 
+	var compared, regressions int
+	if current.Benchmark == "scenarios" {
+		compared, regressions = compareScenarios(baseline, current, *threshold)
+	} else {
+		compared, regressions = compareSimScale(baseline, current, *threshold)
+	}
+	if compared == 0 {
+		fmt.Printf("benchcmp: no overlapping rows between %s and %s — nothing compared\n",
+			*currentPath, *baselinePath)
+		return
+	}
+	fmt.Printf("benchcmp: %d row(s) compared, %d regression(s) beyond the thresholds\n", compared, regressions)
+	if *strict && regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+func compareSimScale(baseline, current *report, threshold float64) (compared, regressions int) {
 	base := make(map[[2]int]row, len(baseline.Results))
 	for _, r := range baseline.Results {
 		base[[2]int{r.Nodes, r.Workers}] = r
 	}
-
-	compared, regressions := 0, 0
 	for _, cur := range current.Results {
 		ref, ok := base[[2]int{cur.Nodes, cur.Workers}]
 		if !ok || ref.RoundsPerSec <= 0 {
@@ -81,7 +124,7 @@ func main() {
 		compared++
 		change := (cur.RoundsPerSec/ref.RoundsPerSec - 1) * 100
 		status := "ok"
-		if change <= -*threshold {
+		if change <= -threshold {
 			status = "REGRESSION"
 			regressions++
 			// GitHub Actions annotation — visible on the run summary
@@ -92,13 +135,49 @@ func main() {
 		fmt.Printf("N=%-6d W=%-2d %10.2f rounds/sec  baseline %10.2f  %+7.1f%%  %s\n",
 			cur.Nodes, cur.Workers, cur.RoundsPerSec, ref.RoundsPerSec, change, status)
 	}
-	if compared == 0 {
-		fmt.Printf("benchcmp: no overlapping (nodes, workers) rows between %s and %s — nothing compared\n",
-			*currentPath, *baselinePath)
-		return
+	return compared, regressions
+}
+
+func compareScenarios(baseline, current *report, threshold float64) (compared, regressions int) {
+	base := make(map[scenarioKey]row, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[scenarioKey{r.Scenario, r.Nodes, r.Workers, r.Converge}] = r
 	}
-	fmt.Printf("benchcmp: %d row(s) compared, %d regression(s) beyond %.0f%%\n", compared, regressions, *threshold)
-	if *strict && regressions > 0 {
-		os.Exit(1)
+	for _, cur := range current.Results {
+		ref, ok := base[scenarioKey{cur.Scenario, cur.Nodes, cur.Workers, cur.Converge}]
+		if !ok {
+			continue
+		}
+		compared++
+		var bad []string
+		if cur.AvailAny < ref.AvailAny-0.02 {
+			bad = append(bad, fmt.Sprintf("availability %.3f vs %.3f", cur.AvailAny, ref.AvailAny))
+		}
+		if cur.StaleKeepers > ref.StaleKeepers+0.02 {
+			bad = append(bad, fmt.Sprintf("stale keepers %.3f vs %.3f", cur.StaleKeepers, ref.StaleKeepers))
+		}
+		// -1 means "did not converge within the cap": a regression when
+		// the baseline converged, never an improvement to regress from.
+		switch {
+		case cur.RoundsToConverge < 0 && ref.RoundsToConverge >= 0:
+			bad = append(bad, fmt.Sprintf("no convergence (baseline %d rounds)", ref.RoundsToConverge))
+		case cur.RoundsToConverge >= 0 && ref.RoundsToConverge > 0 &&
+			float64(cur.RoundsToConverge) > float64(ref.RoundsToConverge)*(1+threshold/100):
+			bad = append(bad, fmt.Sprintf("convergence %d vs %d rounds", cur.RoundsToConverge, ref.RoundsToConverge))
+		}
+		status := "ok"
+		if len(bad) > 0 {
+			status = "REGRESSION"
+			regressions++
+			for _, b := range bad {
+				fmt.Printf("::warning title=scenario regression::%s N=%d W=%d converge=%v: %s\n",
+					cur.Scenario, cur.Nodes, cur.Workers, cur.Converge, b)
+			}
+		}
+		fmt.Printf("%-14s N=%-5d W=%-2d converge=%-5v avail %.3f/%.3f  staleKeep %.3f/%.3f  rounds %d/%d  %s\n",
+			cur.Scenario, cur.Nodes, cur.Workers, cur.Converge,
+			cur.AvailAny, ref.AvailAny, cur.StaleKeepers, ref.StaleKeepers,
+			cur.RoundsToConverge, ref.RoundsToConverge, status)
 	}
+	return compared, regressions
 }
