@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -35,7 +37,11 @@ import (
 	"datadroplets/internal/experiments"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain carries the exit code back through main so the profile
+// defers installed below always run (os.Exit would skip them).
+func realMain() int {
 	var (
 		run      = flag.String("run", "all", "comma-separated experiment IDs, 'all', 'throughput', 'simscale', or 'scenarios'")
 		scale    = flag.Float64("scale", 0.25, "population/trial scale (1.0 = paper scale)")
@@ -47,8 +53,40 @@ func main() {
 		converge = flag.Bool("converge", false, "enable the convergence overhaul in -run scenarios (segmented range sync, supersession, read-repair) and measure full convergence incl. bystander copies")
 		both     = flag.Bool("both", false, "with -run scenarios, sweep each scenario in legacy AND converge mode")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the selected run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ddbench: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialise the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ddbench: -memprofile: %v\n", err)
+			}
+			_ = f.Close()
+		}()
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -60,35 +98,35 @@ func main() {
 		for _, name := range experiments.ScenarioNames() {
 			fmt.Printf("scenarios -scenario %s\n", name)
 		}
-		return
+		return 0
 	}
 
 	if *run == "throughput" {
 		if err := runThroughput(*seed, *scale, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *run == "simscale" {
 		ws, err := parseWorkers(*workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ddbench: -workers: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		if err := runSimScale(*seed, *scale, *jsonOut, ws); err != nil {
 			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *run == "scenarios" {
 		ws, err := parseWorkers(*workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ddbench: -workers: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		modes := []bool{*converge}
 		if *both {
@@ -96,9 +134,9 @@ func main() {
 		}
 		if err := runScenarios(*seed, *scale, *scenario, *jsonOut, ws, modes); err != nil {
 			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	var ids []string
@@ -113,7 +151,7 @@ func main() {
 	if *csv != "" {
 		if err := os.MkdirAll(*csv, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -138,7 +176,7 @@ func main() {
 			}
 		}
 	}
-	os.Exit(exit)
+	return exit
 }
 
 // parseWorkers parses the -workers sweep list ("1,4" → [1, 4]).

@@ -3,15 +3,29 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
+	"time"
 
+	"datadroplets/internal/dht"
 	"datadroplets/internal/experiments"
+	"datadroplets/internal/node"
 )
 
 // simscalePopulations are the cluster sizes the fabric benchmark sweeps.
 // At -scale 1 this is the 2k..10k regime the paper states its claims for.
 var simscalePopulations = []int{2000, 10000}
+
+// simscaleLargePopulation is the 100k-node configuration, swept only at
+// full scale (it is far past the CI budget). Its round count is reduced —
+// the point of the row is per-round fabric cost and worker scaling at a
+// population 10x beyond the paper's, not a long campaign.
+const (
+	simscaleLargePopulation = 100000
+	simscaleLargeRounds     = 30
+	simscaleLargeWarmup     = 10
+)
 
 // simscaleBaselineSeed is the seed the committed baseline was measured
 // under; the before/after comparison is only printed for matching runs.
@@ -40,10 +54,16 @@ type simscaleReport struct {
 	Seed      int64  `json:"seed"`
 	// Host notes hardware constraints relevant to the worker sweep
 	// (parallel speedup is bounded by the cores actually available).
-	Host     string        `json:"host,omitempty"`
-	Baseline *simscaleRow  `json:"baseline_pre_pr,omitempty"`
-	SpeedupX float64       `json:"speedup_at_baseline_n,omitempty"`
-	Results  []simscaleRow `json:"results"`
+	// CPUs/GOMAXPROCS carry the same facts machine-readably: benchcmp
+	// refuses rounds/sec comparisons between reports measured on hosts
+	// with different parallel capacity.
+	Host       string          `json:"host,omitempty"`
+	CPUs       int             `json:"cpus,omitempty"`
+	GOMAXPROCS int             `json:"gomaxprocs,omitempty"`
+	Baseline   *simscaleRow    `json:"baseline_pre_pr,omitempty"`
+	SpeedupX   float64         `json:"speedup_at_baseline_n,omitempty"`
+	SoftLayer  *softLayerBench `json:"soft_layer_million_keys,omitempty"`
+	Results    []simscaleRow   `json:"results"`
 }
 
 // simscaleBaseline is the measured pre-optimisation reference (map-keyed
@@ -64,6 +84,71 @@ var simscaleBaseline = simscaleRow{
 	AllocsPerRound: 490663,
 	BytesPerRound:  853271489,
 	Delivered:      60616605,
+}
+
+// softLayerBench is the million-key soft-layer measurement: the flat
+// open-addressed sequencer and directory indexes loaded with one million
+// distinct keys, reporting build throughput and steady-state lookup cost.
+type softLayerBench struct {
+	Keys                 int     `json:"keys"`
+	SequencerBuildSecs   float64 `json:"sequencer_build_seconds"`
+	SequencerNextNsPerOp float64 `json:"sequencer_next_ns_per_op"`
+	DirectoryBuildSecs   float64 `json:"directory_build_seconds"`
+	DirectoryHintNsPerOp float64 `json:"directory_hints_ns_per_op"`
+	LiveHeapMB           float64 `json:"live_heap_mb"`
+}
+
+// runSoftLayerMillionKeys loads sequencer and directory with a million
+// keys and times the hot operations over a random probe set.
+func runSoftLayerMillionKeys() softLayerBench {
+	const keys = 1_000_000
+	out := softLayerBench{Keys: keys}
+	names := make([]string, keys)
+	for i := range names {
+		names[i] = fmt.Sprintf("key-%07d", i)
+	}
+
+	var before runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	seq := dht.NewSequencer(1)
+	start := time.Now()
+	for _, k := range names {
+		seq.Next(k)
+	}
+	out.SequencerBuildSecs = time.Since(start).Seconds()
+
+	dir := dht.NewDirectory(4)
+	start = time.Now()
+	for i, k := range names {
+		dir.AddHint(k, node.ID(i%64+1))
+	}
+	out.DirectoryBuildSecs = time.Since(start).Seconds()
+
+	var after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	out.LiveHeapMB = float64(after.HeapAlloc-before.HeapAlloc) / (1 << 20)
+
+	// Steady-state probes in a scrambled order so the lookup cost is not
+	// flattered by sequential cache residency.
+	rng := rand.New(rand.NewSource(1))
+	probes := make([]string, 1<<20)
+	for i := range probes {
+		probes[i] = names[rng.Intn(keys)]
+	}
+	start = time.Now()
+	for _, k := range probes {
+		seq.Next(k)
+	}
+	out.SequencerNextNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(len(probes))
+	start = time.Now()
+	for _, k := range probes {
+		dir.Hints(k)
+	}
+	out.DirectoryHintNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(len(probes))
+	return out
 }
 
 func toRow(r *experiments.SimScaleResult) simscaleRow {
@@ -87,32 +172,50 @@ func toRow(r *experiments.SimScaleResult) simscaleRow {
 // same digest, and optionally writes the JSON report.
 func runSimScale(seed int64, scale float64, jsonPath string, workerCounts []int) error {
 	report := simscaleReport{
-		Benchmark: "simscale",
-		Seed:      seed,
-		Host:      fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d", runtime.GOMAXPROCS(0), runtime.NumCPU()),
+		Benchmark:  "simscale",
+		Seed:       seed,
+		Host:       fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d", runtime.GOMAXPROCS(0), runtime.NumCPU()),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	if scale == 1 && seed == simscaleBaselineSeed {
 		b := simscaleBaseline
 		report.Baseline = &b
 	}
 
-	fmt.Printf("simscale: write+churn+repair fabric benchmark, seed %d, scale %.2f, workers %v\n",
-		seed, scale, workerCounts)
-	fmt.Printf("%8s %8s %8s %10s %12s %14s %14s %12s\n",
-		"nodes", "rounds", "workers", "seconds", "rounds/sec", "allocs/round", "bytes/round", "delivered")
+	// Population sweep: the paper-regime sizes always, the 100k row only
+	// at full scale (a scaled-down 100k is just another small population,
+	// and the full row is far beyond the CI budget).
+	type popCfg struct{ nodes, rounds, warmup int }
+	var pops []popCfg
 	for _, n := range simscalePopulations {
 		nodes := int(float64(n) * scale)
 		if nodes < 64 {
 			nodes = 64
 		}
-		rounds := 200
+		pops = append(pops, popCfg{nodes: nodes, rounds: 200, warmup: 30})
+	}
+	if scale >= 1 {
+		pops = append(pops, popCfg{
+			nodes:  simscaleLargePopulation,
+			rounds: simscaleLargeRounds,
+			warmup: simscaleLargeWarmup,
+		})
+	}
+
+	fmt.Printf("simscale: write+churn+repair fabric benchmark, seed %d, scale %.2f, workers %v\n",
+		seed, scale, workerCounts)
+	fmt.Printf("%8s %8s %8s %10s %12s %14s %14s %12s\n",
+		"nodes", "rounds", "workers", "seconds", "rounds/sec", "allocs/round", "bytes/round", "delivered")
+	for _, pc := range pops {
+		nodes, rounds := pc.nodes, pc.rounds
 		baseDigest := ""
 		var w1RoundsPerSec float64
 		for _, w := range workerCounts {
 			res := experiments.RunSimScale(experiments.SimScaleConfig{
 				Nodes:             nodes,
 				Rounds:            rounds,
-				Warmup:            30,
+				Warmup:            pc.warmup,
 				Seed:              seed,
 				WritesPerRound:    16,
 				TransientPerRound: 0.002,
@@ -143,6 +246,16 @@ func runSimScale(seed int64, scale float64, jsonPath string, workerCounts []int)
 					"", row.Nodes, report.Baseline.RoundsPerSec, report.SpeedupX)
 			}
 		}
+	}
+
+	// Million-key soft-layer row: only at full scale, like the 100k
+	// population — CI compares fabric rows and should stay fast.
+	if scale >= 1 {
+		sl := runSoftLayerMillionKeys()
+		report.SoftLayer = &sl
+		fmt.Printf("soft layer at %d keys: sequencer build %.2fs, Next %.0f ns/op; directory build %.2fs, Hints %.0f ns/op; live heap %.1f MB\n",
+			sl.Keys, sl.SequencerBuildSecs, sl.SequencerNextNsPerOp,
+			sl.DirectoryBuildSecs, sl.DirectoryHintNsPerOp, sl.LiveHeapMB)
 	}
 
 	if jsonPath != "" {

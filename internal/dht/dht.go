@@ -17,6 +17,7 @@ package dht
 import (
 	"sort"
 
+	"datadroplets/internal/flatmap"
 	"datadroplets/internal/node"
 	"datadroplets/internal/tuple"
 )
@@ -188,57 +189,71 @@ func (r *Ring) Intervals(replicas int) []Interval {
 // Sequencer assigns request versions: monotonically increasing per key,
 // tie-broken by the sequencing node's ID. It is the concurrency-control
 // heart of the soft-state layer.
+//
+// The per-key version index is a flat open-addressed table rather than a
+// built-in map: a sequencer in front of a million-key store does one
+// lookup per client write, and the flat layout keeps that lookup a
+// single hash plus a short linear probe over arrays the garbage
+// collector does not chase through buckets.
 type Sequencer struct {
 	self   node.ID
-	latest map[string]tuple.Version
+	latest *flatmap.Map[tuple.Version]
 }
 
 // NewSequencer creates a sequencer owned by self.
 func NewSequencer(self node.ID) *Sequencer {
-	return &Sequencer{self: self, latest: make(map[string]tuple.Version)}
+	return &Sequencer{self: self, latest: flatmap.New[tuple.Version](0)}
 }
 
 // Next allocates the next version for key.
 func (s *Sequencer) Next(key string) tuple.Version {
-	v := s.latest[key].Next(s.self)
-	s.latest[key] = v
+	cur, _ := s.latest.Get(key)
+	v := cur.Next(s.self)
+	s.latest.Put(key, v)
 	return v
 }
 
 // Latest returns the most recent version assigned or observed for key.
 func (s *Sequencer) Latest(key string) (tuple.Version, bool) {
-	v, ok := s.latest[key]
-	return v, ok
+	return s.latest.Get(key)
 }
 
 // Observe records an externally learned version (recovery, handoff); it
 // never moves the sequence backwards.
 func (s *Sequencer) Observe(key string, v tuple.Version) {
-	if cur, ok := s.latest[key]; !ok || cur.Less(v) {
-		s.latest[key] = v
+	if cur, ok := s.latest.Get(key); !ok || cur.Less(v) {
+		s.latest.Put(key, v)
 	}
 }
 
 // Keys returns all sequenced keys (diagnostics and recovery audits).
 func (s *Sequencer) Keys() []string {
-	out := make([]string, 0, len(s.latest))
-	for k := range s.latest {
+	out := make([]string, 0, s.latest.Len())
+	s.latest.Each(func(k string, _ tuple.Version) {
 		out = append(out, k)
-	}
+	})
 	sort.Strings(out)
 	return out
 }
 
+// Len returns the number of sequenced keys.
+func (s *Sequencer) Len() int { return s.latest.Len() }
+
 // Wipe clears all state, simulating the catastrophic soft-layer loss of
-// experiment C14.
-func (s *Sequencer) Wipe() { s.latest = make(map[string]tuple.Version) }
+// experiment C14. The table capacity is kept: a rebuilt soft node is
+// expected to re-observe a similar key population during recovery.
+func (s *Sequencer) Wipe() { s.latest.Reset() }
 
 // Directory remembers, per key, some persistent-layer nodes known to
 // store it, so reads skip discovery ("maintaining knowledge of some of
 // the nodes that store the data").
+//
+// Like the Sequencer, the per-key index is a flat open-addressed table;
+// the hint lists themselves stay small ordered slices (maxPerKey is 4 by
+// default), appended in place and replaced oldest-first when full.
 type Directory struct {
 	maxPerKey int
-	hints     map[string][]node.ID
+	hints     *flatmap.Map[[]node.ID]
 }
 
 // NewDirectory creates a directory keeping at most maxPerKey hints per
@@ -247,30 +262,36 @@ func NewDirectory(maxPerKey int) *Directory {
 	if maxPerKey <= 0 {
 		maxPerKey = 4
 	}
-	return &Directory{maxPerKey: maxPerKey, hints: make(map[string][]node.ID)}
+	return &Directory{maxPerKey: maxPerKey, hints: flatmap.New[[]node.ID](0)}
 }
 
 // AddHint records that id stores key.
 func (d *Directory) AddHint(key string, id node.ID) {
-	hs := d.hints[key]
+	hs, ok := d.hints.Get(key)
 	for _, h := range hs {
 		if h == id {
 			return
 		}
 	}
 	if len(hs) >= d.maxPerKey {
-		// Replace the oldest hint (front) — newer hints are fresher.
+		// Replace the oldest hint (front) — newer hints are fresher. The
+		// slice is mutated in place, so the stored header stays valid.
 		copy(hs, hs[1:])
 		hs[len(hs)-1] = id
-		d.hints[key] = hs
 		return
 	}
-	d.hints[key] = append(hs, id)
+	if !ok {
+		// First hint: allocate the key's slice at full fan-in capacity so
+		// later AddHints never reallocate (and therefore never need a
+		// re-Put to refresh the stored header).
+		hs = make([]node.ID, 0, d.maxPerKey)
+	}
+	d.hints.Put(key, append(hs, id))
 }
 
 // Hints returns the known holders of key (most recent last).
 func (d *Directory) Hints(key string) []node.ID {
-	hs := d.hints[key]
+	hs, _ := d.hints.Get(key)
 	out := make([]node.ID, len(hs))
 	copy(out, hs)
 	return out
@@ -278,17 +299,22 @@ func (d *Directory) Hints(key string) []node.ID {
 
 // DropHint removes a hint observed to be wrong (e.g. holder crashed).
 func (d *Directory) DropHint(key string, id node.ID) {
-	hs := d.hints[key]
+	hs, _ := d.hints.Get(key)
 	for i, h := range hs {
 		if h == id {
-			d.hints[key] = append(hs[:i], hs[i+1:]...)
+			if len(hs) == 1 {
+				d.hints.Del(key)
+				return
+			}
+			d.hints.Put(key, append(hs[:i], hs[i+1:]...))
 			return
 		}
 	}
 }
 
 // Len returns the number of keys with hints.
-func (d *Directory) Len() int { return len(d.hints) }
+func (d *Directory) Len() int { return d.hints.Len() }
 
-// Wipe clears the directory (C14 catastrophic loss).
-func (d *Directory) Wipe() { d.hints = make(map[string][]node.ID) }
+// Wipe clears the directory (C14 catastrophic loss), keeping table
+// capacity for the recovery refill.
+func (d *Directory) Wipe() { d.hints.Reset() }

@@ -665,7 +665,7 @@ func (n *Node) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
 		if n.Dist != nil {
 			out = n.Dist.Handle(now, from, msg)
 		}
-	case randomwalk.WalkMsg, randomwalk.WalkResult:
+	case *randomwalk.WalkMsg, randomwalk.WalkResult:
 		out = n.Walker.Handle(now, from, msg)
 	case repair.SyncReq, repair.SyncVersions, repair.SyncPull, repair.SyncPush, repair.AdoptReq,
 		repair.SegSyncReq, repair.SegSyncResp, repair.SupersedeQuery, repair.SupersedeResp:

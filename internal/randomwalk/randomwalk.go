@@ -40,7 +40,12 @@ type Sample struct {
 
 // Messages.
 type (
-	// WalkMsg hops through the overlay until TTL exhausts.
+	// WalkMsg hops through the overlay until TTL exhausts. It travels as
+	// a pointer and is mutated in place at each hop (TTL decrement):
+	// unlike broadcast payloads, a walk message has exactly one recipient
+	// at a time, so ownership transfers with delivery and the hop path
+	// re-forwards the same box instead of allocating a fresh one — the
+	// walk costs one allocation at launch, zero per hop.
 	WalkMsg struct {
 		SetID  uint64
 		Origin node.ID
@@ -114,6 +119,11 @@ type Walker struct {
 	nextID uint64
 	sets   map[uint64]*Set
 
+	// out recycles the single-envelope buffers of the hop/answer path —
+	// with the in-place WalkMsg forward this makes the steady-state hop
+	// handler allocation-free.
+	out sim.EnvPool
+
 	// Hops counts total walk forwards handled by this node, the cost
 	// metric of experiment C6.
 	Hops int64
@@ -144,7 +154,7 @@ func (w *Walker) Launch(q Query, walks, ttl int) (uint64, []sim.Envelope) {
 		if peer == node.None {
 			continue
 		}
-		envs = append(envs, sim.Envelope{To: peer, Msg: WalkMsg{
+		envs = append(envs, sim.Envelope{To: peer, Msg: &WalkMsg{
 			SetID: id, Origin: w.self, TTL: ttl, Query: q,
 		}})
 	}
@@ -169,24 +179,27 @@ func (w *Walker) Tick(now sim.Round) []sim.Envelope { return nil }
 // Handle implements sim.Machine.
 func (w *Walker) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
 	switch m := msg.(type) {
-	case WalkMsg:
+	case *WalkMsg:
 		w.Hops++
 		if m.TTL <= 0 {
 			covers, hasKey := false, false
 			if w.probe != nil {
 				covers, hasKey = w.probe(m.Query)
 			}
-			return []sim.Envelope{{To: m.Origin, Msg: WalkResult{
+			return append(w.out.Get(now, 1), sim.Envelope{To: m.Origin, Msg: WalkResult{
 				SetID:  m.SetID,
 				Sample: Sample{Node: w.self, Covers: covers, HasKey: hasKey},
-			}}}
+			}})
 		}
 		next := w.sampler.One()
 		if next == node.None {
 			next = from // degenerate view: bounce back rather than dying
 		}
+		// Forward the box we own: the fabric delivered it to us alone, so
+		// decrementing TTL in place and re-sending the same pointer is
+		// the allocation-free hop (see WalkMsg).
 		m.TTL--
-		return []sim.Envelope{{To: next, Msg: m}}
+		return append(w.out.Get(now, 1), sim.Envelope{To: next, Msg: m})
 	case WalkResult:
 		if s, ok := w.sets[m.SetID]; ok {
 			s.Samples = append(s.Samples, m.Sample)

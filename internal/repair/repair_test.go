@@ -58,7 +58,7 @@ func (n *testNode) Tick(now sim.Round) []sim.Envelope {
 
 func (n *testNode) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
 	switch msg.(type) {
-	case randomwalk.WalkMsg, randomwalk.WalkResult:
+	case *randomwalk.WalkMsg, randomwalk.WalkResult:
 		return n.walker.Handle(now, from, msg)
 	default:
 		return n.mgr.Handle(now, from, msg)

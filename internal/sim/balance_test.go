@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"datadroplets/internal/node"
+)
+
+// checkPartition asserts the shard bounds form a valid partition of the
+// node array: monotone, covering, and consistent with ownerOf.
+func checkPartition(t *testing.T, n *Network) {
+	t.Helper()
+	w := n.cfg.Workers
+	if n.shardBounds[0] != 0 || n.shardBounds[w] != int32(len(n.nodes)) {
+		t.Fatalf("bounds do not cover node array: %v (nodes=%d)", n.shardBounds, len(n.nodes))
+	}
+	for i := 0; i < w; i++ {
+		if n.shardBounds[i] > n.shardBounds[i+1] {
+			t.Fatalf("bounds not monotone: %v", n.shardBounds)
+		}
+	}
+	for ti := int32(0); ti < int32(len(n.nodes)); ti++ {
+		o := n.ownerOf(ti)
+		if ti < n.shardBounds[o] || ti >= n.shardBounds[o+1] {
+			t.Fatalf("ownerOf(%d) = %d outside [%d, %d): bounds %v",
+				ti, o, n.shardBounds[o], n.shardBounds[o+1], n.shardBounds)
+		}
+	}
+}
+
+func TestBalanceShardsUniformLoad(t *testing.T) {
+	n := New(Config{Seed: 1, Workers: 4})
+	defer n.Close()
+	n.SpawnN(16, func(id node.ID, rng *rand.Rand) Machine {
+		return &echoMachine{id: id, rng: rng}
+	})
+	// No deliveries: per-node cost is the uniform tick weight, so the
+	// partition must be four equal quarters.
+	n.balanceShards(nil)
+	checkPartition(t, n)
+	want := []int32{0, 4, 8, 12, 16}
+	for i, b := range n.shardBounds {
+		if b != want[i] {
+			t.Fatalf("uniform bounds = %v, want %v", n.shardBounds, want)
+		}
+	}
+}
+
+func TestBalanceShardsIsolatesHotNode(t *testing.T) {
+	n := New(Config{Seed: 1, Workers: 4})
+	defer n.Close()
+	ids := n.SpawnN(16, func(id node.ID, rng *rand.Rand) Machine {
+		return &echoMachine{id: id, rng: rng}
+	})
+	// One node receives 500 deliveries, everyone else one each: the hot
+	// node must get a shard to itself, and — the failure mode of naive
+	// fixed thresholds — the remaining nodes must still spread evenly
+	// over the remaining workers instead of lumping into the last shard.
+	var due []delivery
+	for i := 0; i < 500; i++ {
+		due = append(due, delivery{from: ids[2], to: ids[0], msg: i})
+	}
+	for _, id := range ids[1:] {
+		due = append(due, delivery{from: ids[0], to: id, msg: 0})
+	}
+	n.balanceShards(due)
+	checkPartition(t, n)
+	if n.shardBounds[1] != 1 {
+		t.Fatalf("hot node not isolated: bounds %v", n.shardBounds)
+	}
+	for w := 1; w < 4; w++ {
+		size := n.shardBounds[w+1] - n.shardBounds[w]
+		if size != 5 {
+			t.Fatalf("cold shard %d has %d nodes, want 5: bounds %v", w, size, n.shardBounds)
+		}
+	}
+	// The cost array must have been zeroed behind the scan.
+	for ti, c := range n.costArr[:len(n.nodes)] {
+		if c != 0 {
+			t.Fatalf("costArr[%d] = %d after balance, want 0", ti, c)
+		}
+	}
+}
+
+func TestBalanceShardsMoreWorkersThanNodes(t *testing.T) {
+	n := New(Config{Seed: 1, Workers: 8})
+	defer n.Close()
+	n.SpawnN(3, func(id node.ID, rng *rand.Rand) Machine {
+		return &echoMachine{id: id, rng: rng}
+	})
+	n.balanceShards(nil)
+	checkPartition(t, n)
+}
+
+// skewMachine drives the deliberately skewed workload of the balancer
+// equivalence test: every node fires at one hot sink each tick, and the
+// sink scatters replies. Every event folds into a per-node hash so
+// divergence in any single machine's observed order is caught, not just
+// divergence in an aggregate.
+type skewMachine struct {
+	rng  *rand.Rand
+	id   node.ID
+	hot  node.ID
+	all  []node.ID
+	hash uint64
+}
+
+func (m *skewMachine) mix(v uint64) {
+	m.hash = (m.hash ^ v) * 0x100000001b3
+}
+
+func (m *skewMachine) Start(now Round) []Envelope {
+	m.mix(uint64(now) + 1)
+	return nil
+}
+
+func (m *skewMachine) Tick(now Round) []Envelope {
+	m.mix(uint64(now) * 31)
+	if m.id == m.hot || len(m.all) == 0 {
+		return nil
+	}
+	// Everyone hammers the hot sink: the bulk of the round's deliveries
+	// land on one node index.
+	return []Envelope{{To: m.hot, Msg: m.rng.Uint64()}}
+}
+
+func (m *skewMachine) Handle(now Round, from node.ID, msg any) []Envelope {
+	m.mix(uint64(from)*1000003 ^ msg.(uint64))
+	if m.id != m.hot {
+		return nil
+	}
+	// The sink scatters a reply, so cold nodes see (and hash) traffic
+	// whose content depends on the sink's RNG consumption order.
+	to := m.all[m.rng.Intn(len(m.all))]
+	return []Envelope{{To: to, Msg: m.rng.Uint64()}}
+}
+
+// runSkewedWorkers executes the hot-sink fixture (with churn and loss
+// layered on) and returns the per-node hashes in spawn order plus a
+// fabric-stats fold.
+func runSkewedWorkers(seed int64, workers int) ([]uint64, uint64) {
+	n := New(Config{Seed: seed, Loss: 0.05, MinDelay: 1, MaxDelay: 2, Workers: workers})
+	defer n.Close()
+	machines := make([]*skewMachine, 0, 64)
+	ids := n.SpawnN(64, func(id node.ID, rng *rand.Rand) Machine {
+		m := &skewMachine{id: id, rng: rng}
+		machines = append(machines, m)
+		return m
+	})
+	hot := ids[0]
+	for _, m := range machines {
+		m.hot, m.all = hot, ids
+	}
+	ch := NewChurner(n, ChurnConfig{
+		TransientPerRound: 0.03,
+		MeanDowntime:      2,
+		JoinPerRound:      0.3,
+		Spawn: func(id node.ID, rng *rand.Rand) Machine {
+			m := &skewMachine{id: id, rng: rng, hot: hot, all: ids}
+			machines = append(machines, m)
+			return m
+		},
+	}, seed+1)
+	for i := 0; i < 50; i++ {
+		ch.Step()
+		n.Step()
+	}
+	hashes := make([]uint64, len(machines))
+	for i, m := range machines {
+		hashes[i] = m.hash
+	}
+	var fold uint64 = 14695981039346656037
+	for _, v := range []int64{
+		n.Stats.Sent.Value(), n.Stats.Delivered.Value(),
+		n.Stats.LostLink.Value(), n.Stats.LostDead.Value(),
+		int64(n.InFlight()),
+	} {
+		fold = (fold ^ uint64(v)) * 0x100000001b3
+	}
+	return hashes, fold
+}
+
+// TestParallelSkewedWorkloadEquivalence is the balancer's determinism
+// contract under the load shape it exists for: one hot node receiving
+// most deliveries. Per-node digests — not just an aggregate — must match
+// the serial executor at every worker count.
+func TestParallelSkewedWorkloadEquivalence(t *testing.T) {
+	for _, seed := range []int64{7, 99} {
+		wantHashes, wantFold := runSkewedWorkers(seed, 1)
+		for _, w := range []int{2, 4, 8} {
+			gotHashes, gotFold := runSkewedWorkers(seed, w)
+			if len(gotHashes) != len(wantHashes) {
+				t.Fatalf("seed %d W=%d: %d machines, serial had %d",
+					seed, w, len(gotHashes), len(wantHashes))
+			}
+			for i := range wantHashes {
+				if gotHashes[i] != wantHashes[i] {
+					t.Fatalf("seed %d W=%d: node index %d digest %x, serial %x",
+						seed, w, i, gotHashes[i], wantHashes[i])
+				}
+			}
+			if gotFold != wantFold {
+				t.Fatalf("seed %d W=%d: fabric fold %x, serial %x", seed, w, gotFold, wantFold)
+			}
+		}
+	}
+}
+
+// hopMachine is the steady-state allocation fixture: pointer-boxed
+// messages forwarded in place through pooled envelope buffers, the same
+// discipline the walker hop path uses. Once traffic is circulating, a
+// round should cost zero allocations.
+type hopMachine struct {
+	rng *rand.Rand
+	all []node.ID
+	out EnvPool
+}
+
+func (m *hopMachine) Start(now Round) []Envelope { return nil }
+func (m *hopMachine) Tick(now Round) []Envelope  { return nil }
+
+type hopMsg struct{ hops uint64 }
+
+func (m *hopMachine) Handle(now Round, from node.ID, msg any) []Envelope {
+	h := msg.(*hopMsg)
+	h.hops++ // mutate in place: ownership travels with delivery
+	to := m.all[m.rng.Intn(len(m.all))]
+	return append(m.out.Get(now, 1), Envelope{To: to, Msg: h})
+}
+
+// BenchmarkStepParallel measures a full Step with circulating hop
+// traffic at several worker counts. The CI bench-smoke job gates on the
+// allocs/op this reports: the steady-state forward path (pointer
+// message + EnvPool) must stay at ~0.
+func BenchmarkStepParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("W%d", workers), func(b *testing.B) {
+			n := New(Config{Seed: 42, Workers: workers})
+			defer n.Close()
+			machines := make([]*hopMachine, 0, 1024)
+			ids := n.SpawnN(1024, func(id node.ID, rng *rand.Rand) Machine {
+				m := &hopMachine{rng: rng}
+				machines = append(machines, m)
+				return m
+			})
+			for _, m := range machines {
+				m.all = ids
+			}
+			// Seed circulating traffic: 4 messages per node, forwarded
+			// forever (no loss, no TTL).
+			src := rand.New(rand.NewSource(7))
+			for i := 0; i < 4*len(ids); i++ {
+				n.Emit(ids[src.Intn(len(ids))], []Envelope{
+					{To: ids[src.Intn(len(ids))], Msg: &hopMsg{}},
+				})
+			}
+			// Warm up: let pools, queue rings and shard buffers reach
+			// their steady-state sizes before measuring.
+			for i := 0; i < 64; i++ {
+				n.Step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Step()
+			}
+		})
+	}
+}

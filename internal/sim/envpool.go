@@ -1,0 +1,70 @@
+package sim
+
+// EnvPool recycles the envelope slices a machine returns from Start,
+// Tick and Handle, eliminating the per-call out-slice allocation on hot
+// protocol paths.
+//
+// Use it where the buffers are small and the per-call allocation would
+// otherwise dominate — the walker hop path (one envelope per forward,
+// pointer-boxed message) runs at zero steady-state allocations with it.
+// Do NOT reach for it on large fan-out paths: pooled buffers are
+// permanently live and pointer-dense (every slot holds an interface), so
+// the GC re-scans them each cycle and each recycle pays a typed clear
+// proportional to capacity. For the gossip relay's ~fanout-sized bursts
+// that bookkeeping measured slower end-to-end than an exact-capacity
+// allocation that dies young.
+//
+// The fabric's lifecycle guarantee makes this safe: a returned slice is
+// fully consumed by the end of the round it was returned in — the serial
+// executor drains it into the delivery queue immediately, and the
+// parallel executor holds it only until the round's serial commit phase,
+// which completes before the next round's compute phase begins. A buffer
+// handed out in round r is therefore free again in every round > r.
+//
+// The pool tracks the buffers it handed out during the current round and
+// recycles them the first time it is asked for a buffer in a later round.
+// Within one round every Get returns a distinct buffer, so a machine
+// whose Handle runs many times per round (a gossip hub, a walk sink)
+// never aliases its own outputs.
+//
+// An EnvPool is owned by one machine and is confined exactly like the
+// rest of the machine's state: no locking, never shared across nodes.
+type EnvPool struct {
+	round Round
+	inUse [][]Envelope // handed out during `round`; free once the round passes
+	free  [][]Envelope
+}
+
+// Get returns an empty envelope buffer with capacity at least capHint,
+// recycling buffers returned to the executor in earlier rounds. now must
+// be the round argument of the Start/Tick/Handle call the buffer is
+// returned from. Appending beyond the buffer's capacity is legal — the
+// grown copy reaches the executor, the original allocation stays pooled.
+func (p *EnvPool) Get(now Round, capHint int) []Envelope {
+	if now != p.round {
+		// Everything handed out in earlier rounds has been committed.
+		// Clear the payload references so pooled buffers never pin dead
+		// messages across rounds, then move the buffers to the free list.
+		for _, b := range p.inUse {
+			b = b[:cap(b)]
+			for i := range b {
+				b[i] = Envelope{}
+			}
+			p.free = append(p.free, b[:0])
+		}
+		p.inUse = p.inUse[:0]
+		p.round = now
+	}
+	var buf []Envelope
+	if k := len(p.free); k > 0 {
+		buf = p.free[k-1]
+		p.free = p.free[:k-1]
+	} else {
+		if capHint < 1 {
+			capHint = 1
+		}
+		buf = make([]Envelope, 0, capHint)
+	}
+	p.inUse = append(p.inUse, buf)
+	return buf
+}

@@ -1,13 +1,23 @@
 // Parallel compute phase of the two-phase executor. The design obligation
 // is bit-for-bit equivalence with the serial executor at every worker
 // count (the package doc spells out the argument); everything here is in
-// service of that: static node-to-worker ownership, per-node call order
-// preservation, and a commit pass that replays the serial emission order
-// against the shared fabric RNG.
+// service of that: per-round cost-balanced node-to-worker ownership, per-
+// node call order preservation, and a commit pass that replays the serial
+// emission order against the shared fabric RNG.
 
 package sim
 
 import "sync"
+
+// Per-node cost weights of the balanced partition. A Handle call (receive
+// + possible relay fan-out) is typically heavier than a Tick (prune +
+// occasional periodic work), so deliveries weigh more. The weights shape
+// load balance only — correctness and the byte-identical trace never
+// depend on where a node's compute runs.
+const (
+	costTick   = 1
+	costHandle = 2
+)
 
 // workerPool is a set of long-lived goroutines reused across rounds: a
 // 10k-node run steps thousands of times, so per-round goroutine spawning
@@ -47,11 +57,88 @@ func (p *workerPool) run() {
 
 func (p *workerPool) close() { close(p.jobs) }
 
-// owner maps a node to its compute worker. Ownership is static within a
-// round (and across rounds, population growth aside), which is what
-// guarantees a node's Handle calls and its Tick run on one goroutine, in
-// order.
-func ownerOf(nodeIndex, workers int) int { return nodeIndex % workers }
+// balanceShards computes the round's node-to-worker partition: contiguous
+// node-index ranges cut so every worker carries a near-equal share of the
+// round's estimated cost. The estimate is exact for the round about to
+// run — the due slice is fully known before the compute phase starts, so
+// per-node cost is this round's delivery count (weighted) plus the tick
+// weight for alive nodes; no stale profile from earlier rounds is needed.
+//
+// This replaces the static `id % workers` ownership, under which a hot
+// node (a walk sink, a partition-heal burst target) serialised its whole
+// shard behind it. Contiguous ranges also give each worker a cache-linear
+// walk over the node array instead of a W-stride one.
+//
+// Ownership stays the determinism-relevant invariant: each node falls in
+// exactly one range, so all its Handles (in enqueue order) and its Tick
+// run on one goroutine. Which goroutine that is varies round to round and
+// with W — and may, because placement is invisible to the committed
+// trace.
+func (n *Network) balanceShards(due []delivery) {
+	workers := n.cfg.Workers
+	if n.shardBounds == nil {
+		n.shardBounds = make([]int32, workers+1)
+	}
+	for len(n.costArr) < len(n.nodes) {
+		n.costArr = append(n.costArr, 0)
+	}
+	total := 0
+	for _, d := range due {
+		ti := int(d.to) - 1
+		if ti < 0 || ti >= len(n.nodes) || !n.nodes[ti].alive {
+			continue
+		}
+		n.costArr[ti] += costHandle
+		total += costHandle
+	}
+	total += n.aliveCount * costTick
+
+	// Cut the node array into `workers` contiguous ranges greedily: close
+	// the current shard once it holds its fair share of the *remaining*
+	// cost. Re-targeting against the remainder (instead of fixed
+	// total/workers thresholds) matters exactly in the skewed case this
+	// partition exists for — after a hot node consumes a whole shard, the
+	// leftover nodes still spread evenly over the leftover workers rather
+	// than lumping into the final shard. The cost array is zeroed behind
+	// the scan so the next round starts clean without an O(N) clear.
+	n.shardBounds[0] = 0
+	n.shardBounds[workers] = int32(len(n.nodes))
+	budget := total // cost not yet assigned to a closed shard
+	shardCost, w := 0, 0
+	for ti, st := range n.nodes {
+		c := int(n.costArr[ti])
+		n.costArr[ti] = 0
+		if st.alive {
+			c += costTick
+		}
+		shardCost += c
+		if w < workers-1 && shardCost*(workers-w) >= budget {
+			n.shardBounds[w+1] = int32(ti + 1)
+			budget -= shardCost
+			shardCost = 0
+			w++
+		}
+	}
+	for ; w < workers-1; w++ {
+		n.shardBounds[w+1] = int32(len(n.nodes))
+	}
+}
+
+// ownerOf maps a node index to its compute worker for this round: the
+// shard whose [shardBounds[w], shardBounds[w+1]) range contains it, found
+// by binary search over the (few, sorted) bounds.
+func (n *Network) ownerOf(ti int32) int {
+	lo, hi := 0, n.cfg.Workers-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.shardBounds[mid+1] <= ti {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
 
 // computeShard runs the compute phase for one worker's nodes: the due
 // deliveries targeting owned nodes in enqueue order (pre-bucketed into
@@ -61,7 +148,6 @@ func ownerOf(nodeIndex, workers int) int { return nodeIndex % workers }
 // shared RNG, or the Stats counters — that is the commit phase's job, in
 // canonical order.
 func (n *Network) computeShard(w int) {
-	workers := n.pool.size
 	round := n.round
 	for _, i := range n.shardDue[w] {
 		d := n.curDue[i]
@@ -70,7 +156,7 @@ func (n *Network) computeShard(w int) {
 			n.handleOut[i] = out
 		}
 	}
-	for ti := w; ti < len(n.nodes); ti += workers {
+	for ti := n.shardBounds[w]; ti < n.shardBounds[w+1]; ti++ {
 		st := n.nodes[ti]
 		if !st.alive {
 			continue
@@ -100,12 +186,14 @@ func (n *Network) stepParallel(due []delivery) {
 	for len(n.tickOut) < len(n.nodes) {
 		n.tickOut = append(n.tickOut, nil)
 	}
-	// Bucket the due indices by owning worker in one serial pass (the
-	// buckets recycle their backing arrays round over round), so each
-	// worker walks only its own deliveries instead of filtering the whole
-	// due slice — dispatch stays O(deliveries), not O(workers×deliveries).
-	// Dead and never-spawned targets are filtered here; the commit pass
-	// below accounts for them.
+	// Partition nodes into cost-balanced contiguous shards for this
+	// round, then bucket the due indices by owning worker in one serial
+	// pass (the buckets recycle their backing arrays round over round),
+	// so each worker walks only its own deliveries instead of filtering
+	// the whole due slice — dispatch stays O(deliveries + nodes), the
+	// same order as the tick scan itself. Dead and never-spawned targets
+	// are filtered here; the commit pass below accounts for them.
+	n.balanceShards(due)
 	if n.shardDue == nil {
 		n.shardDue = make([][]int32, n.cfg.Workers)
 	}
@@ -113,11 +201,11 @@ func (n *Network) stepParallel(due []delivery) {
 		n.shardDue[w] = n.shardDue[w][:0]
 	}
 	for i, d := range due {
-		ti := int(d.to) - 1
-		if ti < 0 || ti >= len(n.nodes) || !n.nodes[ti].alive {
+		ti := int32(d.to) - 1
+		if ti < 0 || int(ti) >= len(n.nodes) || !n.nodes[ti].alive {
 			continue
 		}
-		w := ownerOf(ti, n.cfg.Workers)
+		w := n.ownerOf(ti)
 		n.shardDue[w] = append(n.shardDue[w], int32(i))
 	}
 	// Pre-warm the lazily rebuilt alive-ID cache: machines may read it

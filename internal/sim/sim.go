@@ -20,7 +20,11 @@
 //     reusable worker pool — each node is owned by exactly one worker,
 //     which runs all of the node's Handle calls (in enqueue order) before
 //     its Tick — and the produced envelopes are buffered per delivery and
-//     per node instead of entering the fabric immediately.
+//     per node instead of entering the fabric immediately. The shards are
+//     cost-balanced contiguous node ranges recomputed every round from
+//     the round's own delivery counts (see balanceShards), so a hot node
+//     cannot serialise a whole worker behind it; placement affects only
+//     which goroutine computes, never the committed trace.
 //  2. Commit phase (always serial, always in canonical order). Buffered
 //     envelopes are merged into the fabric in exactly the serial
 //     executor's order — delivery-triggered emissions in the enqueue
@@ -79,9 +83,15 @@ type FaultInjector interface {
 }
 
 // Machine is the protocol state machine contract shared by the simulator
-// and the live drivers. Implementations must not retain the returned
-// slices, must not start goroutines, and must take all randomness from the
-// rand.Rand they were constructed with.
+// and the live drivers. Implementations must not start goroutines and
+// must take all randomness from the rand.Rand they were constructed with.
+//
+// Returned slices are consumed by the fabric before the round's commit
+// finishes: a machine must not read or mutate a slice after returning it
+// within the same round, but may recycle buffers it returned in earlier
+// rounds — EnvPool packages that pattern, and the hot protocol paths
+// (walk hops, gossip relays, repair pushes) use it to keep steady-state
+// rounds allocation-free.
 //
 // Confinement: during Tick and Handle a machine must not read or write
 // another node's mutable state — with Workers > 1 machines run
@@ -196,6 +206,13 @@ type Network struct {
 	shardDue  [][]int32    // per-worker due indices, recycled each round
 	handleOut [][]Envelope // per-delivery Handle output, index = due index
 	tickOut   [][]Envelope // per-node Tick output, index = id-1
+
+	// Cost-balanced shard state (see balanceShards): shardBounds[w] ..
+	// shardBounds[w+1] is worker w's contiguous node-index range for the
+	// current round; costArr is the per-node cost scratch, zeroed behind
+	// the partition scan each round.
+	shardBounds []int32
+	costArr     []int32
 
 	// Stats is the fabric accounting for this run.
 	Stats Stats

@@ -17,6 +17,7 @@ package store
 import (
 	"math/rand"
 
+	"datadroplets/internal/flatmap"
 	"datadroplets/internal/node"
 	"datadroplets/internal/tuple"
 )
@@ -59,8 +60,9 @@ type Store struct {
 	// stats holds per-attribute aggregates maintained in Apply/Drop so
 	// the background protocols (push-sum aggregation, extremes) read
 	// node-local sums in O(1) instead of re-walking and cloning the
-	// whole store every epoch.
-	stats map[string]*attrStat
+	// whole store every epoch. Flat open-addressed: the lookup runs once
+	// per attribute per write.
+	stats *flatmap.Map[*attrStat]
 
 	// floors records supersession watermarks: keys whose local copy was
 	// discarded as redundant (Discard), with the highest version known
@@ -69,7 +71,9 @@ type Store struct {
 	// resurrected by late or replayed traffic — gossip redelivery,
 	// in-flight sync pushes, adoption payloads. A strictly newer apply
 	// lifts the floor (the held copy then carries the ordering itself).
-	floors    map[string]floorEntry
+	// Flat open-addressed: the floor check runs on every Apply, the
+	// hottest store write path.
+	floors    *flatmap.Map[floorEntry]
 	floorRing []floorSlot // insertion order, for deterministic eviction
 	floorGen  uint64      // ties ring slots to their map entries
 }
@@ -98,9 +102,10 @@ const maxFloors = 8192
 // from the node's seeded RNG.
 func New(rng *rand.Rand) *Store {
 	return &Store{
-		rng:   rng,
-		head:  &skipNode{next: make([]*skipNode, maxLevel)},
-		stats: make(map[string]*attrStat),
+		rng:    rng,
+		head:   &skipNode{next: make([]*skipNode, maxLevel)},
+		stats:  flatmap.New[*attrStat](0),
+		floors: flatmap.New[floorEntry](0),
 	}
 }
 
@@ -141,7 +146,7 @@ func (s *Store) find(key string, path *[maxLevel]*skipNode) *skipNode {
 // tuple was newer than local state (and above any supersession floor)
 // and was applied.
 func (s *Store) Apply(t *tuple.Tuple) bool {
-	if f, ok := s.floors[t.Key]; ok && !f.v.Less(t.Version) {
+	if f, ok := s.floors.Get(t.Key); ok && !f.v.Less(t.Version) {
 		return false // at or below the supersession watermark
 	}
 	var path [maxLevel]*skipNode
@@ -157,7 +162,7 @@ func (s *Store) Apply(t *tuple.Tuple) bool {
 		existing.tup = t.Clone()
 		s.accountAdd(existing.tup)
 		s.logi++
-		delete(s.floors, t.Key) // newer content re-admitted: floor served
+		s.floors.Del(t.Key) // newer content re-admitted: floor served
 		return true
 	}
 	if s.maxCap > 0 && s.bytes+int64(len(t.Value)) > s.maxCap {
@@ -181,7 +186,7 @@ func (s *Store) Apply(t *tuple.Tuple) bool {
 	s.total++
 	s.accountAdd(n.tup)
 	s.logi++
-	delete(s.floors, t.Key) // newer content re-admitted: floor served
+	s.floors.Del(t.Key) // newer content re-admitted: floor served
 	return true
 }
 
@@ -209,34 +214,31 @@ func (s *Store) setFloor(key string, v tuple.Version) {
 	if v.IsZero() {
 		return
 	}
-	if s.floors == nil {
-		s.floors = make(map[string]floorEntry)
-	}
-	if cur, ok := s.floors[key]; ok {
+	if cur, ok := s.floors.Get(key); ok {
 		if cur.v.Less(v) {
 			cur.v = v
-			s.floors[key] = cur // gen unchanged: same ring slot owns it
+			s.floors.Put(key, cur) // gen unchanged: same ring slot owns it
 		}
 		return
 	}
 	s.floorGen++
-	s.floors[key] = floorEntry{v: v, gen: s.floorGen}
+	s.floors.Put(key, floorEntry{v: v, gen: s.floorGen})
 	s.floorRing = append(s.floorRing, floorSlot{key: key, gen: s.floorGen})
-	for len(s.floors) > maxFloors && len(s.floorRing) > 0 {
+	for s.floors.Len() > maxFloors && len(s.floorRing) > 0 {
 		old := s.floorRing[0]
 		s.floorRing = s.floorRing[1:]
-		if e, ok := s.floors[old.key]; ok && e.gen == old.gen {
-			delete(s.floors, old.key)
+		if e, ok := s.floors.Get(old.key); ok && e.gen == old.gen {
+			s.floors.Del(old.key)
 		}
 	}
 	// Compact the ring once it is dominated by dead slots (lifted floors
 	// leave their slots behind): without this, a key cycling through
 	// discard and re-admission grows the ring forever while the map
 	// stays small. Amortised O(1).
-	if len(s.floorRing) > 2*len(s.floors)+16 {
+	if len(s.floorRing) > 2*s.floors.Len()+16 {
 		kept := s.floorRing[:0]
 		for _, sl := range s.floorRing {
-			if e, live := s.floors[sl.key]; live && e.gen == sl.gen {
+			if e, live := s.floors.Get(sl.key); live && e.gen == sl.gen {
 				kept = append(kept, sl)
 			}
 		}
@@ -246,7 +248,7 @@ func (s *Store) setFloor(key string, v tuple.Version) {
 
 // Floor returns the supersession watermark for key, if any.
 func (s *Store) Floor(key string) (tuple.Version, bool) {
-	e, ok := s.floors[key]
+	e, ok := s.floors.Get(key)
 	return e.v, ok
 }
 
@@ -256,7 +258,7 @@ func (s *Store) Floor(key string) (tuple.Version, bool) {
 // version it once retired as a redundant bystander copy, or the range
 // can never restore its replica count from the surviving copies.
 func (s *Store) ClearFloor(key string) {
-	delete(s.floors, key)
+	s.floors.Del(key)
 }
 
 func (s *Store) accountAdd(t *tuple.Tuple) {
@@ -266,10 +268,10 @@ func (s *Store) accountAdd(t *tuple.Tuple) {
 	s.live++
 	s.bytes += int64(len(t.Value))
 	for name, v := range t.Attrs {
-		st := s.stats[name]
+		st, _ := s.stats.Get(name)
 		if st == nil {
 			st = &attrStat{fresh: true}
-			s.stats[name] = st
+			s.stats.Put(name, st)
 		}
 		st.sum += v
 		st.count++
@@ -291,7 +293,7 @@ func (s *Store) accountRemove(t *tuple.Tuple) {
 	s.live--
 	s.bytes -= int64(len(t.Value))
 	for name, v := range t.Attrs {
-		st := s.stats[name]
+		st, _ := s.stats.Get(name)
 		if st == nil {
 			continue // unreachable: every live attr was accounted on add
 		}
@@ -338,7 +340,7 @@ func (s *Store) recomputeExtremes(name string, st *attrStat) {
 // every epoch. The sum is within floating-point accumulation error of a
 // fresh walk (additions and subtractions are applied in arrival order).
 func (s *Store) AttrSum(attr string) (sum float64, count int) {
-	st := s.stats[attr]
+	st, _ := s.stats.Get(attr)
 	if st == nil {
 		return 0, 0
 	}
@@ -350,7 +352,7 @@ func (s *Store) AttrSum(attr string) (sum float64, count int) {
 // fresh; a removal that hit the extreme triggers one lazy O(keys)
 // recompute on the next call.
 func (s *Store) AttrExtremes(attr string) (lo, hi float64, ok bool) {
-	st := s.stats[attr]
+	st, _ := s.stats.Get(attr)
 	if st == nil || st.count == 0 {
 		return 0, 0, false
 	}

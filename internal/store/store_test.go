@@ -393,8 +393,8 @@ func TestFloorEvictionIsBounded(t *testing.T) {
 		s.Apply(mk(k, 1, "v"))
 		s.Discard(k, tuple.Version{})
 	}
-	if len(s.floors) > maxFloors {
-		t.Fatalf("floors grew to %d, cap is %d", len(s.floors), maxFloors)
+	if s.floors.Len() > maxFloors {
+		t.Fatalf("floors grew to %d, cap is %d", s.floors.Len(), maxFloors)
 	}
 	// The newest floor survives; the oldest were evicted.
 	if _, ok := s.Floor(fmt.Sprintf("f-%d", maxFloors+99)); !ok {
@@ -414,8 +414,8 @@ func TestFloorRingCompactsUnderDiscardReadmitCycles(t *testing.T) {
 		s.Apply(mk("cycle", seq, "v"))
 		s.Discard("cycle", tuple.Version{Seq: seq, Writer: 1})
 	}
-	if len(s.floorRing) > 2*len(s.floors)+16 {
-		t.Fatalf("floorRing grew to %d with only %d live floors", len(s.floorRing), len(s.floors))
+	if len(s.floorRing) > 2*s.floors.Len()+16 {
+		t.Fatalf("floorRing grew to %d with only %d live floors", len(s.floorRing), s.floors.Len())
 	}
 	// The surviving floor still works.
 	if s.Apply(mk("cycle", 2000, "replay")) {

@@ -56,7 +56,7 @@ func RegisterMessages() {
 		gob.Register(sizeest.VectorReply{})
 		gob.Register(histogram.SketchPush{})
 		gob.Register(histogram.SketchReply{})
-		gob.Register(randomwalk.WalkMsg{})
+		gob.Register(&randomwalk.WalkMsg{})
 		gob.Register(randomwalk.WalkResult{})
 		gob.Register(repair.SyncReq{})
 		gob.Register(repair.SyncVersions{})

@@ -47,7 +47,12 @@ type row struct {
 
 type report struct {
 	Benchmark string `json:"benchmark"`
-	Results   []row  `json:"results"`
+	// CPUs/GOMAXPROCS identify the measuring host's parallel capacity.
+	// Reports written before these fields existed decode them as zero,
+	// which the cross-host check treats as "unknown" (no refusal).
+	CPUs       int   `json:"cpus"`
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	Results    []row `json:"results"`
 }
 
 // scenarioKey identifies one scenario measurement configuration.
@@ -98,6 +103,20 @@ func main() {
 	if current.Benchmark == "scenarios" {
 		compared, regressions = compareScenarios(baseline, current, *threshold)
 	} else {
+		// rounds/sec is only meaningful between runs on hosts with the
+		// same parallel capacity: a W=4 row measured on one core and one
+		// measured on four cores differ for hardware reasons, not code
+		// reasons. Refuse the diff (warn, exit 0) instead of annotating
+		// phantom regressions or improvements. Scenario metrics
+		// (availability, staleness, convergence rounds) are round-counted,
+		// not wall-clocked, so they stay comparable across hosts.
+		if baseline.CPUs > 0 && current.CPUs > 0 &&
+			(baseline.CPUs != current.CPUs || baseline.GOMAXPROCS != current.GOMAXPROCS) {
+			fmt.Printf("::warning title=cross-host bench::refusing rounds/sec comparison: baseline host cpus=%d gomaxprocs=%d, current host cpus=%d gomaxprocs=%d\n",
+				baseline.CPUs, baseline.GOMAXPROCS, current.CPUs, current.GOMAXPROCS)
+			fmt.Println("benchcmp: cross-host simscale reports — rounds/sec not compared (re-measure the baseline on this host to compare)")
+			return
+		}
 		compared, regressions = compareSimScale(baseline, current, *threshold)
 	}
 	if compared == 0 {
