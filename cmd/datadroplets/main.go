@@ -83,7 +83,7 @@ func main() {
 
 	seq := dht.NewSequencer(self)
 	dir := dht.NewDirectory(4)
-	en.OnHint = func(key string, holder node.ID) { dir.AddHint(key, holder) }
+	en.OnHint = func(key string, holder node.ID, _ tuple.Version) { dir.AddHint(key, holder) }
 
 	if *client != "" {
 		ln, err := net.Listen("tcp", *client)

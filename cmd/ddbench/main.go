@@ -12,15 +12,19 @@
 //	ddbench -run scenarios -scenario split-brain -workers 1,4
 //	ddbench -run scenarios -scenario slow-node -converge   # convergence overhaul on
 //	ddbench -run scenarios -both                           # legacy AND converge rows
+//	ddbench -run fuzz -seeds 20 -workers 1,2,4,8           # consistency fuzzer
 //	ddbench -list
 //
 // Besides the experiment IDs, -run throughput sweeps the pipelined
 // client engine over several in-flight window sizes and prints
 // ops/round and ops/sec, -run simscale benchmarks the fabric at paper
-// scale, and -run scenarios drives the fault-scenario suite (partition,
+// scale, -run scenarios drives the fault-scenario suite (partition,
 // flap storm, mass crash, slow nodes, latency spike) measuring
 // availability, staleness and rounds-to-convergence per scenario
-// (optionally as JSON via -json).
+// (optionally as JSON via -json), and -run fuzz sweeps seeded random
+// fault compositions under a recording client workload, checks the
+// session guarantees and convergence with the consistency oracle, and
+// exits nonzero with a one-line repro per violation.
 package main
 
 import (
@@ -52,6 +56,8 @@ func realMain() int {
 		scenario = flag.String("scenario", "all", "scenario name(s) for -run scenarios (comma-separated, or 'all')")
 		converge = flag.Bool("converge", false, "enable the convergence overhaul in -run scenarios (segmented range sync, supersession, read-repair) and measure full convergence incl. bystander copies")
 		both     = flag.Bool("both", false, "with -run scenarios, sweep each scenario in legacy AND converge mode")
+		readDist = flag.String("readdist", "", "read-workload key distribution for -run scenarios: uniform (default), zipf, hot, scan")
+		seeds    = flag.Int("seeds", 20, "number of seeded compositions for -run fuzz (seeds are -seed, -seed+1, ...)")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the selected run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
@@ -95,6 +101,7 @@ func realMain() int {
 		fmt.Println("throughput")
 		fmt.Println("simscale")
 		fmt.Println("scenarios")
+		fmt.Println("fuzz")
 		for _, name := range experiments.ScenarioNames() {
 			fmt.Printf("scenarios -scenario %s\n", name)
 		}
@@ -132,7 +139,20 @@ func realMain() int {
 		if *both {
 			modes = []bool{false, true}
 		}
-		if err := runScenarios(*seed, *scale, *scenario, *jsonOut, ws, modes); err != nil {
+		if err := runScenarios(*seed, *scale, *scenario, *readDist, *jsonOut, ws, modes); err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *run == "fuzz" {
+		ws, err := parseWorkers(*workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: -workers: %v\n", err)
+			return 2
+		}
+		if err := runFuzz(*seed, *seeds, *scale, *jsonOut, ws); err != nil {
 			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
 			return 1
 		}

@@ -39,7 +39,9 @@ func toScenarioRow(r *experiments.ScenarioResult) scenarioRow {
 // runScenarios sweeps the fault-scenario suite (one scenario or all)
 // over the requested worker counts and convergence modes, fails on any
 // cross-worker digest divergence, and optionally writes the JSON report.
-func runScenarios(seed int64, scale float64, scenario, jsonPath string, workerCounts []int, modes []bool) error {
+// readDist selects the read workload's key distribution ("" = uniform,
+// the trace-stable legacy stream).
+func runScenarios(seed int64, scale float64, scenario, readDist, jsonPath string, workerCounts []int, modes []bool) error {
 	var names []string
 	if scenario == "" || scenario == "all" {
 		names = experiments.ScenarioNames()
@@ -73,6 +75,7 @@ func runScenarios(seed int64, scale float64, scenario, jsonPath string, workerCo
 					Seed:     seed,
 					Workers:  w,
 					Converge: converge,
+					ReadDist: readDist,
 				})
 				if err != nil {
 					return err

@@ -244,8 +244,9 @@ type Node struct {
 	scans     map[uint64]*ScanState
 
 	// OnHint, when set, receives storage acknowledgements for writes
-	// this node originated (wired to the soft layer's directory).
-	OnHint func(key string, holder node.ID)
+	// this node originated (wired to the soft layer's directory): which
+	// holder acknowledged storing which version of the key.
+	OnHint func(key string, holder node.ID, v tuple.Version)
 
 	// Stored counts sieve-accepted applications (C4 balance metric).
 	Stored int64
@@ -446,17 +447,25 @@ func (n *Node) onDeliver(r gossip.Rumor) {
 		// Version (not GetAny) keeps this common path clone-free: stored
 		// versions are never zero, so a zero means "absent".
 		if cur := n.St.Version(wp.Tuple.Key); !cur.IsZero() && cur.Less(wp.Tuple.Version) {
-			n.St.Apply(wp.Tuple)
+			if n.St.Apply(wp.Tuple) && n.Repair != nil {
+				n.Repair.NoteDivergence()
+			}
 		}
 		return
 	}
 	if n.St.Apply(wp.Tuple) {
 		n.Stored++
+		if n.Repair != nil {
+			// A fresh version landed: the write mints a last-resort copy
+			// at its publisher, so the supersession sweep must stay at
+			// full cadence while the workload is live.
+			n.Repair.NoteDivergence()
+		}
 	}
 	if !n.cfg.NoHints && wp.Origin != node.None {
 		if wp.Origin == n.Self {
 			if n.OnHint != nil {
-				n.OnHint(wp.Tuple.Key, n.Self)
+				n.OnHint(wp.Tuple.Key, n.Self, wp.Tuple.Version)
 			}
 		} else {
 			n.outbox = append(n.outbox, sim.Envelope{To: wp.Origin, Msg: StoreAck{Key: wp.Tuple.Key, Version: wp.Tuple.Version}})
@@ -682,7 +691,7 @@ func (n *Node) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
 		}
 	case StoreAck:
 		if n.OnHint != nil {
-			n.OnHint(m.Key, from)
+			n.OnHint(m.Key, from, m.Version)
 		}
 	case ReadReq:
 		out = n.handleRead(m)

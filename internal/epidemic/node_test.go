@@ -130,7 +130,7 @@ func TestHintsReachOrigin(t *testing.T) {
 	const n = 50
 	c := newCluster(n, 11, Config{Replication: 3, FanoutC: 3, DisableRepair: true})
 	hints := map[string][]node.ID{}
-	c.nodes[1].OnHint = func(key string, holder node.ID) {
+	c.nodes[1].OnHint = func(key string, holder node.ID, _ tuple.Version) {
 		hints[key] = append(hints[key], holder)
 	}
 	c.net.Run(10)
@@ -152,7 +152,7 @@ func TestLookupViaHints(t *testing.T) {
 	const n = 60
 	c := newCluster(n, 13, Config{Replication: 3, FanoutC: 3, DisableRepair: true})
 	var hints []node.ID
-	c.nodes[1].OnHint = func(key string, holder node.ID) { hints = append(hints, holder) }
+	c.nodes[1].OnHint = func(key string, holder node.ID, _ tuple.Version) { hints = append(hints, holder) }
 	c.net.Run(10)
 	c.net.Emit(1, c.nodes[1].Write(c.net.Round(), mk("target", 1, "payload")))
 	c.net.Run(15)

@@ -67,6 +67,56 @@ func TestDeterminismAtScaleAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestHistoryDeterministicAcrossWorkers: the recorded client history —
+// every op field, not just the digest — must be byte-identical at every
+// fabric worker count. The recording hot path crosses the compute phase
+// (OnHint queues) and the serial reap, so this is where a sharding race
+// in the oracle plumbing would surface.
+func TestHistoryDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full scenario runs take seconds")
+	}
+	base := ScenarioConfig{
+		Name:          ScenarioSplitBrain,
+		Nodes:         48,
+		Seed:          4242,
+		Converge:      true,
+		ReadsPerRound: 6,
+		RecordHistory: true,
+	}
+	var ref *ScenarioResult
+	for _, w := range []int{1, 2, 4, 8} {
+		cfg := base
+		cfg.Workers = w
+		res, err := RunScenario(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.History.Len() == 0 {
+			t.Fatal("oracle mode recorded no operations")
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.HistoryDigest != ref.HistoryDigest {
+			t.Errorf("W=%d: history digest %016x, serial %016x", w, res.HistoryDigest, ref.HistoryDigest)
+		}
+		if len(res.History.Ops) != len(ref.History.Ops) {
+			t.Fatalf("W=%d: %d ops vs serial %d", w, len(res.History.Ops), len(ref.History.Ops))
+		}
+		for i := range ref.History.Ops {
+			if res.History.Ops[i] != ref.History.Ops[i] {
+				t.Fatalf("W=%d: op %d diverged:\n serial: %s\n W=%d:   %s",
+					w, i, ref.History.Ops[i], w, res.History.Ops[i])
+			}
+		}
+		if res.Digest() != ref.Digest() {
+			t.Errorf("W=%d: result digest %016x, serial %016x", w, res.Digest(), ref.Digest())
+		}
+	}
+}
+
 // compareSimScaleRuns asserts two runs agree on every observable the
 // determinism contract covers.
 func compareSimScaleRuns(t *testing.T, an, bn string, a, b *SimScaleResult) {

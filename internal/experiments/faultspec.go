@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"datadroplets/internal/node"
+	"datadroplets/internal/sim"
+)
+
+// FaultEvent is one declarative entry of a scenario's fault schedule:
+// what fault, when (offsets from the fault-window start), and its
+// explicit parameters. The named catalogue scenarios and the fuzzer both
+// reduce to []FaultEvent, so a fuzz case's schedule round-trips through
+// its one-line spec string and a composed schedule exercises exactly the
+// primitives the catalogue does.
+//
+// Parameters that count nodes are explicit integers fixed when the spec
+// is built (Cut, Stride, Count): re-deriving them from fractions at
+// apply time would round differently (int(float64(240)*0.6) == 143 but
+// 240*3/5 == 144) and silently fork the trace. Fractions that the
+// fabric itself consumes (crash Frac, Loss) are passed through verbatim.
+type FaultEvent struct {
+	// Kind names the fault primitive (Fault* constants).
+	Kind string `json:"kind"`
+	// Start is the event's onset, in rounds after the fault window
+	// opens; Len is its duration (0 on window kinds: the remainder of
+	// the window). Instantaneous kinds (mass-crash, mass-join) ignore Len.
+	Start int `json:"start,omitempty"`
+	Len   int `json:"len,omitempty"`
+
+	Cut    int     `json:"cut,omitempty"`    // partition: nodes [0,Cut) vs [Cut,n)
+	Stride int     `json:"stride,omitempty"` // flap/slow-node: every Stride-th node affected
+	Period int     `json:"period,omitempty"` // flap: cycle length in rounds
+	Down   int     `json:"down,omitempty"`   // flap: down rounds per cycle
+	Frac   float64 `json:"frac,omitempty"`   // mass-crash fraction; churn per-node per-round rate
+	Revive int     `json:"revive,omitempty"` // mass-crash revive delay; churn mean downtime
+	Delay  int     `json:"delay,omitempty"`  // slow-node/latency/link extra delivery rounds
+	Jitter int     `json:"jitter,omitempty"` // extra random delay spread
+	Loss   float64 `json:"loss,omitempty"`   // slow-node/latency/link loss probability
+	Count  int     `json:"count,omitempty"`  // mass-join joins; link-loss link count
+}
+
+// Fault-event kinds.
+const (
+	FaultPartition    = "partition"
+	FaultFlap         = "flap"
+	FaultMassCrash    = "mass-crash"
+	FaultMassJoin     = "mass-join"
+	FaultSlowNode     = "slow-node"
+	FaultLatencySpike = "latency-spike"
+	FaultLinkLoss     = "link-loss"
+	FaultChurn        = "churn"
+)
+
+// String renders the event compactly for repro lines: the kind plus its
+// meaningful parameters.
+func (e FaultEvent) String() string {
+	var b strings.Builder
+	b.WriteString(e.Kind)
+	b.WriteByte('[')
+	parts := []string{fmt.Sprintf("start=%d", e.Start)}
+	add := func(name string, v int) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	addF := func(name string, v float64) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", name, v))
+		}
+	}
+	add("len", e.Len)
+	add("cut", e.Cut)
+	add("stride", e.Stride)
+	add("period", e.Period)
+	add("down", e.Down)
+	addF("frac", e.Frac)
+	add("revive", e.Revive)
+	add("delay", e.Delay)
+	add("jitter", e.Jitter)
+	addF("loss", e.Loss)
+	add("count", e.Count)
+	b.WriteString(strings.Join(parts, ","))
+	b.WriteByte(']')
+	return b.String()
+}
+
+// EventsSpec renders a schedule as one compact string — the
+// scenario-spec part of a fuzz repro line.
+func EventsSpec(events []FaultEvent) string {
+	parts := make([]string, len(events))
+	for i, e := range events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// catalogueEvents returns the named scenario's fault schedule. The
+// parameters replicate the original hard-coded schedules exactly
+// (including integer arithmetic like cut = n*3/5), so the event layer
+// is provably trace-neutral for the catalogue.
+func catalogueEvents(name string, n, faultRounds int) []FaultEvent {
+	switch name {
+	case ScenarioSplitBrain:
+		return []FaultEvent{{Kind: FaultPartition, Len: faultRounds, Cut: n * 3 / 5}}
+	case ScenarioFlapStorm:
+		return []FaultEvent{{Kind: FaultFlap, Len: faultRounds, Period: 8, Down: 3, Stride: 10}}
+	case ScenarioMassCrash:
+		return []FaultEvent{
+			{Kind: FaultMassCrash, Frac: 0.30, Revive: 20},
+			{Kind: FaultMassJoin, Start: 10, Count: n / 20},
+		}
+	case ScenarioSlowNode:
+		return []FaultEvent{{Kind: FaultSlowNode, Len: faultRounds, Stride: 20, Loss: 0.15, Delay: 3, Jitter: 1}}
+	case ScenarioLatencySpike:
+		return []FaultEvent{{Kind: FaultLatencySpike, Len: faultRounds, Delay: 2, Jitter: 2}}
+	}
+	return nil
+}
+
+// scheduledChurn is a churn event instantiated on the fabric: the
+// harness steps it every round from start; at end it quiesces (failure
+// rates drop to zero) but keeps stepping until every transiently-failed
+// node has revived, so a churn window cannot leak dead nodes into the
+// convergence measurement.
+type scheduledChurn struct {
+	ch         *sim.Churner
+	start, end sim.Round
+	done       bool
+}
+
+// step advances the churn process for the current round.
+func (c *scheduledChurn) step(now sim.Round) {
+	if c.done || now < c.start {
+		return
+	}
+	if now >= c.end {
+		c.ch.Quiesce()
+	}
+	c.ch.Step()
+	if now >= c.end && c.ch.Down() == 0 {
+		c.done = true
+	}
+}
+
+// applyEvents instantiates a fault schedule on the scenario engine with
+// the window opening at round fs. Window-kind events with Len == 0 run
+// for the remainder of the window. Node-state events (flap, crash) end
+// on the Step clock; per-message events get the extra end round that
+// covers the last fault round's in-step traffic (see the sim
+// window-clock note). Returned churn processes must be stepped by the
+// round loop.
+func applyEvents(events []FaultEvent, sc *sim.Scenario, net *sim.Network,
+	fs sim.Round, window int, seed int64, ids []node.ID,
+	spawn func(node.ID, *rand.Rand) sim.Machine) []*scheduledChurn {
+	var churns []*scheduledChurn
+	n := len(ids)
+	for i, ev := range events {
+		length := ev.Len
+		if length <= 0 || ev.Start+length > window {
+			length = window - ev.Start
+		}
+		start := fs + sim.Round(ev.Start)
+		end := start + sim.Round(length) // node-state clock
+		endMsg := end + 1                // message clock
+		label := fmt.Sprintf("%s-%d", ev.Kind, i)
+		switch ev.Kind {
+		case FaultPartition:
+			cut := min(max(ev.Cut, 1), n-1)
+			sc.AddPartition(label, start, endMsg, ids[:cut], ids[cut:n])
+		case FaultFlap:
+			stride := max(ev.Stride, 1)
+			flappers := make([]node.ID, 0, n/stride+1)
+			for j := 0; j < n; j += stride {
+				flappers = append(flappers, ids[j])
+			}
+			sc.AddFlap(label, start, end, ev.Period, ev.Down, flappers...)
+		case FaultMassCrash:
+			sc.AddMassCrash(label, start, ev.Frac, false, ev.Revive)
+		case FaultMassJoin:
+			sc.AddMassJoin(label, start, ev.Count, spawn)
+		case FaultSlowNode:
+			stride := max(ev.Stride, 1)
+			for j := 0; j < n; j += stride {
+				sc.AddSlowNode(fmt.Sprintf("%s-%d", label, ids[j]), start, endMsg, ids[j], ev.Loss, ev.Delay, ev.Jitter)
+			}
+		case FaultLatencySpike:
+			sc.AddLatencySpike(label, start, endMsg, ev.Delay, ev.Jitter, ev.Loss)
+		case FaultLinkLoss:
+			// Deterministic pseudo-scattered directed links: no RNG at
+			// apply time, so the spec alone fixes the schedule.
+			for j := 0; j < ev.Count; j++ {
+				a := ids[(j*7)%n]
+				b := ids[(j*13+5)%n]
+				if a == b {
+					continue
+				}
+				sc.AddLink(fmt.Sprintf("%s-%d", label, j), start, endMsg, a, b, ev.Loss, ev.Delay, ev.Jitter)
+			}
+		case FaultChurn:
+			// Transient failures only: permanent departures would lose
+			// sole copies by construction, which the convergence oracle
+			// would rightly flag — that is a workload property, not a bug.
+			ch := sim.NewChurner(net, sim.ChurnConfig{
+				TransientPerRound: ev.Frac,
+				MeanDowntime:      float64(ev.Revive),
+			}, seed^0x0c48c4c4^int64(i+1)*0x9e37)
+			churns = append(churns, &scheduledChurn{ch: ch, start: start, end: end})
+		}
+	}
+	return churns
+}
+
+// GenerateFuzzEvents samples a random fault schedule: 1–3 events over
+// the window composed from the full primitive set, with parameters in
+// ranges that keep runs recoverable (no permanent failures, crash
+// cohorts revive inside the window, loss under total blackout levels).
+// All randomness flows from rng, so a (seed → schedule) mapping is
+// stable and a repro line needs only the seed.
+func GenerateFuzzEvents(rng *rand.Rand, n, window int) []FaultEvent {
+	count := 1 + rng.Intn(3)
+	kinds := []string{
+		FaultPartition, FaultFlap, FaultLatencySpike, FaultSlowNode,
+		FaultMassCrash, FaultLinkLoss, FaultChurn, FaultMassJoin,
+	}
+	events := make([]FaultEvent, 0, count)
+	for i := 0; i < count; i++ {
+		ev := FaultEvent{Kind: kinds[rng.Intn(len(kinds))]}
+		ev.Start = rng.Intn(max(window/2, 1))
+		ev.Len = 1 + rng.Intn(max(window-ev.Start, 1))
+		switch ev.Kind {
+		case FaultPartition:
+			ev.Cut = 1 + rng.Intn(n-1)
+		case FaultFlap:
+			ev.Stride = 4 + rng.Intn(12)
+			ev.Period = 4 + rng.Intn(8)
+			ev.Down = 1 + rng.Intn(max(ev.Period/2, 1))
+		case FaultLatencySpike:
+			ev.Delay = 1 + rng.Intn(3)
+			ev.Jitter = rng.Intn(3)
+			ev.Loss = float64(rng.Intn(10)) / 100
+		case FaultSlowNode:
+			ev.Stride = 8 + rng.Intn(16)
+			ev.Loss = float64(rng.Intn(30)) / 100
+			ev.Delay = 1 + rng.Intn(4)
+			ev.Jitter = rng.Intn(2)
+		case FaultMassCrash:
+			ev.Len = 0
+			ev.Frac = 0.1 + 0.25*rng.Float64()
+			ev.Revive = 5 + rng.Intn(max(window-ev.Start, 5))
+		case FaultLinkLoss:
+			ev.Count = 4 + rng.Intn(12)
+			ev.Loss = 0.2 + 0.6*rng.Float64()
+			ev.Delay = rng.Intn(3)
+		case FaultChurn:
+			ev.Frac = 0.002 + 0.01*rng.Float64()
+			ev.Revive = 4 + rng.Intn(12)
+		case FaultMassJoin:
+			ev.Len = 0
+			ev.Count = 1 + rng.Intn(max(n/20, 2))
+		}
+		events = append(events, ev)
+	}
+	return events
+}

@@ -10,9 +10,11 @@ import (
 	"datadroplets/internal/epidemic"
 	"datadroplets/internal/membership"
 	"datadroplets/internal/node"
+	"datadroplets/internal/oracle"
 	"datadroplets/internal/repair"
 	"datadroplets/internal/sim"
 	"datadroplets/internal/tuple"
+	"datadroplets/internal/workload"
 )
 
 // The fault-scenario suite: each scenario subjects a persistent-layer
@@ -109,23 +111,51 @@ type ScenarioConfig struct {
 	// no reads (the legacy write-only workload, trace-identical to
 	// before).
 	ReadsPerRound int
+	// ReadDist selects the read workload's key distribution (see
+	// workload.ReadDists): uniform (default, the legacy stream —
+	// byte-identical traces), zipf, hot, or scan.
+	ReadDist string
+	// RecordHistory switches the workload to oracle mode: operations
+	// issue from per-client sticky sessions, every client-visible op
+	// (with its written/observed version and issue/complete rounds) is
+	// recorded in a workload.History, and the result carries the
+	// end-state replica map for convergence checking. Off by default;
+	// the default workload and its traces are untouched.
+	RecordHistory bool
+	// Clients is the number of recording client sessions (oracle mode
+	// only). Zero means 8.
+	Clients int
+	// Events overrides the fault schedule (nil: the Name's catalogue
+	// schedule). The fuzzer composes schedules here; Name then only
+	// labels the run.
+	Events []FaultEvent
 }
 
 func (c ScenarioConfig) normalized() (ScenarioConfig, error) {
-	if c.Name == "" {
-		return c, fmt.Errorf("experiments: scenario name required (have %s)", strings.Join(ScenarioNames(), ", "))
-	}
-	found := false
-	for _, s := range scenarioCatalog {
-		if s.name == c.Name {
-			found = true
-			if c.FaultRounds <= 0 {
-				c.FaultRounds = s.faultRounds
+	if len(c.Events) > 0 {
+		// Explicit schedule: the name is just a label.
+		if c.Name == "" {
+			c.Name = "custom"
+		}
+		if c.FaultRounds <= 0 {
+			c.FaultRounds = 40
+		}
+	} else {
+		if c.Name == "" {
+			return c, fmt.Errorf("experiments: scenario name required (have %s)", strings.Join(ScenarioNames(), ", "))
+		}
+		found := false
+		for _, s := range scenarioCatalog {
+			if s.name == c.Name {
+				found = true
+				if c.FaultRounds <= 0 {
+					c.FaultRounds = s.faultRounds
+				}
 			}
 		}
-	}
-	if !found {
-		return c, fmt.Errorf("experiments: unknown scenario %q (have %s)", c.Name, strings.Join(ScenarioNames(), ", "))
+		if !found {
+			return c, fmt.Errorf("experiments: unknown scenario %q (have %s)", c.Name, strings.Join(ScenarioNames(), ", "))
+		}
 	}
 	if c.Nodes <= 0 {
 		c.Nodes = 240
@@ -150,6 +180,9 @@ func (c ScenarioConfig) normalized() (ScenarioConfig, error) {
 	}
 	if c.ReadsPerRound < 0 {
 		c.ReadsPerRound = 0 // negative: explicitly no read workload
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
 	}
 	return c, nil
 }
@@ -220,6 +253,14 @@ type ScenarioResult struct {
 	AliveEnd  int   `json:"alive_end"`
 
 	StoreDigest uint64 `json:"-"`
+
+	// Oracle-mode (RecordHistory) outputs: the recorded client history,
+	// its digest (folded into Digest so a history divergence fails the
+	// cross-worker check), and the end-state replica map for the
+	// convergence oracle. Empty/zero on default runs.
+	History       *workload.History    `json:"-"`
+	HistoryDigest uint64               `json:"history_digest,omitempty"`
+	Replicas      []oracle.KeyReplicas `json:"-"`
 }
 
 // Digest folds the run's observable behaviour — fabric accounting, fault
@@ -251,6 +292,12 @@ func (r *ScenarioResult) Digest() uint64 {
 	h = mix(h, uint64(r.TuplesPushed))
 	h = mix(h, uint64(r.ReadRepairs))
 	h = mix(h, uint64(r.BystandersSuperseded))
+	if r.HistoryDigest != 0 {
+		// Only mixed when a history was recorded: mix(h, 0) != h, and
+		// default-run digests must stay byte-identical to pre-oracle
+		// baselines.
+		h = mix(h, r.HistoryDigest)
+	}
 	return h
 }
 
@@ -267,6 +314,7 @@ type scenarioProbe struct {
 	keyIdx map[string]int
 	points []node.Point // hashed ring position per key
 	latest []uint64     // latest written Seq per key
+	writer []node.ID    // writer of the latest version per key
 	anyHit []bool
 	fresh  []bool
 
@@ -283,6 +331,7 @@ func newScenarioProbe(keys int) *scenarioProbe {
 		keyIdx:  make(map[string]int, keys),
 		points:  make([]node.Point, keys),
 		latest:  make([]uint64, keys),
+		writer:  make([]node.ID, keys),
 		anyHit:  make([]bool, keys),
 		fresh:   make([]bool, keys),
 		holders: make([]int, keys),
@@ -481,37 +530,188 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	for i := range value {
 		value[i] = byte(i)
 	}
-	writeKey := func(ki int) {
-		alive := net.AliveIDs()
-		if len(alive) == 0 {
-			return
+
+	// Oracle mode (RecordHistory): a fixed roster of client sessions,
+	// each sticky to one origin node — a session guarantee is only
+	// meaningful against a stable session — with every client-visible op
+	// recorded. All recording state is harness-owned and touched only in
+	// the serial phase; the one machine-side hook, OnHint, appends to a
+	// per-origin queue that only that node's compute slot writes, and the
+	// harness drains the queues in fixed node order after every
+	// net.Step(), so recording cannot perturb the trace or the digest.
+	var (
+		hist      *workload.History
+		clientAt  []node.ID // client -> sticky origin node
+		ackq      map[node.ID]*ackQueue
+		ackOrder  []node.ID        // deterministic reap order
+		openWrite map[writeRef]int // in-flight write -> history index
+		openReads []*pendingRead
+		hintDir   map[string][]node.ID // key -> acknowledged holders (cap 4)
+	)
+	if cfg.RecordHistory {
+		hist = workload.NewHistory()
+		clientAt = make([]node.ID, cfg.Clients)
+		ackq = make(map[node.ID]*ackQueue)
+		openWrite = make(map[writeRef]int)
+		hintDir = make(map[string][]node.ID)
+		for c := 0; c < cfg.Clients; c++ {
+			origin := ids[(c*cfg.Nodes)/cfg.Clients]
+			clientAt[c] = origin
+			if _, ok := ackq[origin]; !ok {
+				q := &ackQueue{}
+				ackq[origin] = q
+				ackOrder = append(ackOrder, origin)
+				nodes[origin-1].OnHint = func(key string, holder node.ID, v tuple.Version) {
+					q.recs = append(q.recs, hintRec{key: key, holder: holder, v: v})
+				}
+			}
 		}
-		origin := alive[wrng.Intn(len(alive))]
+	}
+
+	writeKey := func(ki int) {
+		var origin node.ID
+		client := -1
+		if cfg.RecordHistory {
+			client = wrng.Intn(cfg.Clients)
+			origin = clientAt[client]
+			if !net.Alive(origin) {
+				return // the session's origin is down: the client cannot issue
+			}
+		} else {
+			alive := net.AliveIDs()
+			if len(alive) == 0 {
+				return
+			}
+			origin = alive[wrng.Intn(len(alive))]
+		}
 		probe.latest[ki]++
+		probe.writer[ki] = origin
 		t := &tuple.Tuple{
 			Key:     keyName(ki),
 			Value:   value,
 			Attrs:   map[string]float64{"v": float64(wrng.Intn(1000))},
 			Version: tuple.Version{Seq: probe.latest[ki], Writer: origin},
 		}
+		if client >= 0 {
+			idx := hist.Append(workload.Op{Client: client, Kind: workload.OpWrite,
+				Key: t.Key, Version: t.Version, Issued: net.Round()})
+			openWrite[writeRef{ki: ki, seq: t.Version.Seq}] = idx
+		}
 		net.Emit(origin, nodes[origin-1].Write(net.Round(), t))
 	}
+
+	// finishRead resolves a recorded read from its request state: the
+	// best-versioned reply (or the local hit), a miss when no reply
+	// carried a copy.
+	finishRead := func(opIdx int, st *epidemic.ReadState) {
+		op := &hist.Ops[opIdx]
+		op.Completed = net.Round()
+		if st != nil && st.Hit && st.Tuple != nil {
+			op.Version = st.Tuple.Version
+			if injectStaleReads && op.Version.Seq > 1 {
+				op.Version.Seq-- // deliberately broken client (test hook)
+			}
+		} else {
+			op.Miss = true
+		}
+	}
+
 	// The read workload drives read-repair (Converge mode). Reads draw
 	// from their own seeded stream so the write/fault streams are
 	// untouched; with ReadsPerRound == 0 no stream is consumed and the
-	// trace is byte-identical to the legacy write-only workload.
+	// trace is byte-identical to the legacy write-only workload. The
+	// uniform chooser consumes exactly the legacy rng.Intn draw.
 	rrng := rand.New(rand.NewSource(cfg.Seed ^ 0x4ead4ead))
+	chooseKey, err := workload.NewKeyChooser(cfg.ReadDist, cfg.Keys, rrng)
+	if err != nil {
+		return nil, err
+	}
 	readKey := func() {
+		if cfg.RecordHistory {
+			client := rrng.Intn(cfg.Clients)
+			origin := clientAt[client]
+			if !net.Alive(origin) {
+				return
+			}
+			ki := chooseKey()
+			key := keyName(ki)
+			opIdx := hist.Append(workload.Op{Client: client, Kind: workload.OpRead,
+				Key: key, Issued: net.Round()})
+			reqID, envs := nodes[origin-1].Lookup(key, hintDir[key], 3, 2)
+			if len(envs) == 0 {
+				// Local hit: resolved synchronously.
+				st, _ := nodes[origin-1].Read(reqID)
+				finishRead(opIdx, st)
+				nodes[origin-1].ForgetRead(reqID)
+				return
+			}
+			net.Emit(origin, envs)
+			openReads = append(openReads, &pendingRead{
+				origin: origin, reqID: reqID, opIdx: opIdx,
+				issued: net.Round(), expect: len(envs),
+			})
+			return
+		}
 		alive := net.AliveIDs()
 		if len(alive) == 0 {
 			return
 		}
 		origin := alive[rrng.Intn(len(alive))]
-		ki := rrng.Intn(cfg.Keys)
+		ki := chooseKey()
 		_, envs := nodes[origin-1].Lookup(keyName(ki), nil, 3, 2)
 		net.Emit(origin, envs)
 	}
+
+	// reapRecording drains the ack queues (write completions + the hint
+	// directory) and resolves reads whose replies are all in or whose
+	// deadline elapsed. Serial phase only, fixed iteration order.
+	reapRecording := func() {
+		now := net.Round()
+		for _, origin := range ackOrder {
+			q := ackq[origin]
+			for _, rec := range q.recs {
+				holders := hintDir[rec.key]
+				known := false
+				for _, h := range holders {
+					if h == rec.holder {
+						known = true
+						break
+					}
+				}
+				if !known && len(holders) < maxHintHolders {
+					hintDir[rec.key] = append(holders, rec.holder)
+				}
+				ki, ok := probe.keyIdx[rec.key]
+				if !ok {
+					continue
+				}
+				if idx, ok := openWrite[writeRef{ki: ki, seq: rec.v.Seq}]; ok {
+					hist.Ops[idx].Completed = now
+					delete(openWrite, writeRef{ki: ki, seq: rec.v.Seq})
+				}
+			}
+			q.recs = q.recs[:0]
+		}
+		kept := openReads[:0]
+		for _, pr := range openReads {
+			st, ok := nodes[pr.origin-1].Read(pr.reqID)
+			if !ok {
+				// Evicted from the read map (FIFO cap): never resolves.
+				hist.Ops[pr.opIdx].Pending = true
+				continue
+			}
+			if st.Replies >= pr.expect || now-pr.issued >= readDeadline {
+				finishRead(pr.opIdx, st)
+				nodes[pr.origin-1].ForgetRead(pr.reqID)
+				continue
+			}
+			kept = append(kept, pr)
+		}
+		openReads = kept
+	}
+
 	rounds := 0
+	var churns []*scheduledChurn
 	step := func(writes, reads int) {
 		for i := 0; i < writes; i++ {
 			writeKey(wrng.Intn(cfg.Keys))
@@ -519,8 +719,14 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		for i := 0; i < reads; i++ {
 			readKey()
 		}
+		for _, cc := range churns {
+			cc.step(net.Round())
+		}
 		sc.Step()
 		net.Step()
+		if cfg.RecordHistory {
+			reapRecording()
+		}
 		rounds++
 	}
 
@@ -544,42 +750,24 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		step(0, 0)
 	}
 
-	// Schedule the fault window starting at the next round boundary.
-	// Node-state events (flap, crash) run on the Step clock [fs, fe);
-	// per-message events need one extra end round to cover the in-step
-	// traffic of the last fault round (see the sim window-clock note).
+	// Schedule the fault window starting at the next round boundary. The
+	// declarative event layer (faultspec.go) owns the Step-clock vs
+	// message-clock end-round distinction; the catalogue schedules reduce
+	// to the exact Add* calls the legacy switch made, so named-scenario
+	// traces are unchanged. Explicit cfg.Events (the fuzzer) compose the
+	// same primitives.
 	fs := net.Round()
-	fe := fs + sim.Round(cfg.FaultRounds)
-	feMsg := fe + 1
 	spawnJoin := func(id node.ID, rng *rand.Rand) sim.Machine {
 		en := epidemic.New(id, rng, membership.NewUniformView(id, rng, pop), ecfg)
 		nodes = append(nodes, en)
 		ids = append(ids, id)
 		return en
 	}
-	switch cfg.Name {
-	case ScenarioSplitBrain:
-		cut := cfg.Nodes * 3 / 5
-		sc.AddPartition("split-brain", fs, feMsg, ids[:cut], ids[cut:cfg.Nodes])
-	case ScenarioFlapStorm:
-		flappers := make([]node.ID, 0, cfg.Nodes/10)
-		for i := 0; i < cfg.Nodes; i += 10 {
-			flappers = append(flappers, ids[i])
-		}
-		sc.AddFlap("flap-storm", fs, fe, 8, 3, flappers...)
-	case ScenarioMassCrash:
-		sc.AddMassCrash("mass-crash", fs, 0.30, false, 20)
-		// A small correlated join wave arrives while the crashed cohort
-		// is still down — the membership turbulence the estimators and
-		// the sieve must absorb.
-		sc.AddMassJoin("mass-join", fs+10, cfg.Nodes/20, spawnJoin)
-	case ScenarioSlowNode:
-		for i := 0; i < cfg.Nodes; i += 20 {
-			sc.AddSlowNode(fmt.Sprintf("slow-%d", ids[i]), fs, feMsg, ids[i], 0.15, 3, 1)
-		}
-	case ScenarioLatencySpike:
-		sc.AddLatencySpike("latency-spike", fs, feMsg, 2, 2, 0)
+	events := cfg.Events
+	if len(events) == 0 {
+		events = catalogueEvents(cfg.Name, cfg.Nodes, cfg.FaultRounds)
 	}
+	churns = applyEvents(events, sc, net, fs, cfg.FaultRounds, cfg.Seed, ids, spawnJoin)
 
 	// Fault window: sustained writes, oracle measurement every round.
 	var sumAny, sumFresh, sumStale, sumStaleKeep float64
@@ -655,5 +843,84 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		}
 		res.ReadRepairs += en.ReadRepairs.Value()
 	}
+	if cfg.RecordHistory {
+		// Reads the run ended before resolving stay in the history as
+		// Pending — the oracle skips them (availability, not a session
+		// anomaly). Unacked writes keep Completed == 0 for the same
+		// reason: they never anchor a read-your-writes obligation.
+		for _, pr := range openReads {
+			hist.Ops[pr.opIdx].Pending = true
+		}
+		res.History = hist
+		res.HistoryDigest = hist.Digest()
+		res.Replicas = collectReplicas(net, nodes, probe, keyName)
+	}
 	return res, nil
+}
+
+// collectReplicas snapshots the end-state replica map for the
+// convergence oracle: every live copy of every tracked key across alive
+// nodes plus the latest written version, swept in node order so the map
+// is deterministic.
+func collectReplicas(net *sim.Network, nodes []*epidemic.Node, probe *scenarioProbe, keyName func(int) string) []oracle.KeyReplicas {
+	out := make([]oracle.KeyReplicas, len(probe.latest))
+	for ki := range out {
+		out[ki] = oracle.KeyReplicas{
+			Key:    keyName(ki),
+			Latest: tuple.Version{Seq: probe.latest[ki], Writer: probe.writer[ki]},
+		}
+	}
+	for _, en := range nodes {
+		if !net.Alive(en.Self) {
+			continue
+		}
+		en.St.ForEachRef(func(t *tuple.Tuple) bool {
+			if t.Deleted {
+				return true
+			}
+			if ki, ok := probe.keyIdx[t.Key]; ok {
+				out[ki].Copies = append(out[ki].Copies, oracle.ReplicaCopy{Node: en.Self, Version: t.Version})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// Recording-workload plumbing (oracle mode).
+
+// readDeadline is the round budget a recorded read waits for its replies
+// before resolving with whatever arrived (matching a client timeout).
+const readDeadline = 12
+
+// maxHintHolders caps the per-key acknowledged-holder directory feeding
+// read hints.
+const maxHintHolders = 4
+
+// hintRec is one storage acknowledgement observed at a client origin.
+type hintRec struct {
+	key    string
+	holder node.ID
+	v      tuple.Version
+}
+
+// ackQueue collects one origin node's acknowledgements during the
+// compute phase. Only that node's machine appends and only the serial
+// phase drains, so no lock is needed.
+type ackQueue struct{ recs []hintRec }
+
+// writeRef identifies an in-flight recorded write (Seq is unique per
+// key: the harness sequences writes itself).
+type writeRef struct {
+	ki  int
+	seq uint64
+}
+
+// pendingRead tracks one recorded read awaiting replies.
+type pendingRead struct {
+	origin node.ID
+	reqID  uint64
+	opIdx  int
+	issued sim.Round
+	expect int
 }

@@ -1,0 +1,249 @@
+// Package oracle checks client-visible consistency against recorded
+// operation histories — the approach of "Inferring Formal Properties of
+// Production Key-Value Stores" (arXiv:1712.10056), which derived
+// exactly these session guarantees from Riak/Cassandra traces. The
+// scenario suite measures availability and staleness; the oracle is
+// what makes *correctness for clients* a checkable property:
+//
+//   - Read-your-writes: a read must not observe a version older than
+//     the client's own latest acknowledged write to that key.
+//   - Monotonic reads: a client's reads of one key must never step
+//     backwards past a version the same session already observed.
+//   - Writes-follow-reads: a write must be sequenced after every
+//     version its session had already read for that key.
+//   - Eventual convergence: once faults end and repair quiesces, every
+//     live replica of a key agrees on a supersession-consistent winner
+//     — the highest version ever written, and nothing beyond it.
+//
+// The checks are deliberately conservative about incomplete
+// information: reads that missed (no copy found) or never resolved are
+// anomalies of availability, not of session ordering, and are excluded
+// from the staleness guarantees; writes that were never acknowledged do
+// not anchor read-your-writes. Versions are compared by the soft-layer
+// sequencer's total order (tuple.Version), so "older" is well-defined
+// per key.
+//
+// Everything here is pure computation over recorded data. Violations
+// carry the client, key, rounds and observed anomaly, so a fuzzer can
+// print each one as a one-line reproducible counterexample.
+package oracle
+
+import (
+	"fmt"
+
+	"datadroplets/internal/node"
+	"datadroplets/internal/tuple"
+	"datadroplets/internal/workload"
+)
+
+// Guarantee names a session guarantee the oracle checks.
+type Guarantee string
+
+// The checked guarantees.
+const (
+	ReadYourWrites   Guarantee = "read-your-writes"
+	MonotonicReads   Guarantee = "monotonic-reads"
+	WritesFollowRead Guarantee = "writes-follow-reads"
+	Convergence      Guarantee = "eventual-convergence"
+)
+
+// Violation is one detected anomaly.
+type Violation struct {
+	Guarantee Guarantee `json:"guarantee"`
+	Client    int       `json:"client"`
+	Key       string    `json:"key"`
+	// OpIndex is the history index of the violating op (-1 for
+	// convergence violations, which are store-state anomalies).
+	OpIndex int `json:"op_index"`
+	// Round is when the violating observation completed.
+	Round int `json:"round"`
+	// Detail describes the anomaly: what was observed vs what the
+	// session had already established.
+	Detail string `json:"detail"`
+}
+
+// String renders the violation as one line.
+func (v Violation) String() string {
+	if v.OpIndex < 0 {
+		return fmt.Sprintf("%s key=%s round=%d: %s", v.Guarantee, v.Key, v.Round, v.Detail)
+	}
+	return fmt.Sprintf("%s client=%d key=%s op=%d round=%d: %s",
+		v.Guarantee, v.Client, v.Key, v.OpIndex, v.Round, v.Detail)
+}
+
+// sessionKey indexes per-(client, key) session state.
+type sessionKey struct {
+	client int
+	key    string
+}
+
+// sessionState accumulates what a session has established for one key.
+type sessionState struct {
+	// lastAckedWrite is the highest version among the client's writes
+	// to the key whose acknowledgement had arrived by a given moment;
+	// ackedBy holds (ackRound, version) pairs so reads anchor only on
+	// writes acknowledged before they were issued.
+	ackedWrites []ackedWrite
+	// maxObserved is the highest version any of the session's completed
+	// reads observed, with the completion round it was established at.
+	observed []observation
+}
+
+type ackedWrite struct {
+	version tuple.Version
+	acked   int // round the ack arrived
+}
+
+type observation struct {
+	version   tuple.Version
+	completed int // round the read resolved
+}
+
+// Check verifies the session guarantees against a recorded history and
+// returns every violation found, in history order. A nil or empty
+// history yields no violations.
+func Check(h *workload.History) []Violation {
+	if h == nil || len(h.Ops) == 0 {
+		return nil
+	}
+	sessions := make(map[sessionKey]*sessionState)
+	state := func(c int, k string) *sessionState {
+		sk := sessionKey{c, k}
+		st, ok := sessions[sk]
+		if !ok {
+			st = &sessionState{}
+			sessions[sk] = st
+		}
+		return st
+	}
+	var out []Violation
+	for i, op := range h.Ops {
+		st := state(op.Client, op.Key)
+		switch op.Kind {
+		case workload.OpWrite:
+			// Writes-follow-reads: the assigned version must supersede
+			// everything this session had read for the key by the time
+			// the write was issued.
+			for _, ob := range st.observed {
+				if ob.completed <= int(op.Issued) && !ob.version.Less(op.Version) {
+					out = append(out, Violation{
+						Guarantee: WritesFollowRead,
+						Client:    op.Client,
+						Key:       op.Key,
+						OpIndex:   i,
+						Round:     int(op.Issued),
+						Detail: fmt.Sprintf("write sequenced at v%s, but the session had already read v%s at round %d",
+							op.Version, ob.version, ob.completed),
+					})
+					break
+				}
+			}
+			if op.Completed > 0 {
+				st.ackedWrites = append(st.ackedWrites, ackedWrite{version: op.Version, acked: int(op.Completed)})
+			}
+		case workload.OpRead:
+			if op.Pending || op.Miss {
+				// No observation: an availability anomaly at worst, not a
+				// session-ordering one (see the package comment).
+				continue
+			}
+			// Read-your-writes: compare against the highest own write
+			// acknowledged before this read was issued.
+			for _, aw := range st.ackedWrites {
+				if aw.acked <= int(op.Issued) && op.Version.Less(aw.version) {
+					out = append(out, Violation{
+						Guarantee: ReadYourWrites,
+						Client:    op.Client,
+						Key:       op.Key,
+						OpIndex:   i,
+						Round:     int(op.Completed),
+						Detail: fmt.Sprintf("read observed v%s, but the client's own write v%s was acknowledged at round %d (read issued at %d)",
+							op.Version, aw.version, aw.acked, op.Issued),
+					})
+					break
+				}
+			}
+			// Monotonic reads: compare against the highest version any
+			// of the session's reads had observed before this read was
+			// issued.
+			for _, ob := range st.observed {
+				if ob.completed <= int(op.Issued) && op.Version.Less(ob.version) {
+					out = append(out, Violation{
+						Guarantee: MonotonicReads,
+						Client:    op.Client,
+						Key:       op.Key,
+						OpIndex:   i,
+						Round:     int(op.Completed),
+						Detail: fmt.Sprintf("read observed v%s, but the session had already observed v%s at round %d (read issued at %d)",
+							op.Version, ob.version, ob.completed, op.Issued),
+					})
+					break
+				}
+			}
+			st.observed = append(st.observed, observation{version: op.Version, completed: int(op.Completed)})
+		}
+	}
+	return out
+}
+
+// KeyReplicas is the quiesced end-state of one key: the highest version
+// ever written to it and every live copy observed across the cluster.
+type KeyReplicas struct {
+	Key    string
+	Latest tuple.Version
+	Copies []ReplicaCopy
+}
+
+// ReplicaCopy is one live copy of a key on one node.
+type ReplicaCopy struct {
+	Node    node.ID
+	Version tuple.Version
+}
+
+// CheckConvergence verifies eventual convergence of concurrent writes
+// at quiescence: after faults end and repair settles, every live
+// replica of each key must hold exactly the supersession-consistent
+// winner — the highest version written — and no replica may hold a
+// version beyond it (a phantom, i.e. a write nobody issued). A key with
+// zero live copies is reported as lost.
+func CheckConvergence(keys []KeyReplicas, round int) []Violation {
+	var out []Violation
+	for _, kr := range keys {
+		if len(kr.Copies) == 0 {
+			out = append(out, Violation{
+				Guarantee: Convergence,
+				Client:    -1,
+				Key:       kr.Key,
+				OpIndex:   -1,
+				Round:     round,
+				Detail:    fmt.Sprintf("no live copy at quiescence (latest written v%s)", kr.Latest),
+			})
+			continue
+		}
+		for _, c := range kr.Copies {
+			switch {
+			case kr.Latest.Less(c.Version):
+				out = append(out, Violation{
+					Guarantee: Convergence,
+					Client:    -1,
+					Key:       kr.Key,
+					OpIndex:   -1,
+					Round:     round,
+					Detail: fmt.Sprintf("node %d holds phantom v%s beyond the latest written v%s",
+						c.Node, c.Version, kr.Latest),
+				})
+			case c.Version.Less(kr.Latest):
+				out = append(out, Violation{
+					Guarantee: Convergence,
+					Client:    -1,
+					Key:       kr.Key,
+					OpIndex:   -1,
+					Round:     round,
+					Detail: fmt.Sprintf("node %d still holds stale v%s after quiescence (winner v%s)",
+						c.Node, c.Version, kr.Latest),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"datadroplets/internal/node"
+	"datadroplets/internal/tuple"
+	"datadroplets/internal/workload"
+)
+
+func v(seq uint64, writer uint64) tuple.Version {
+	return tuple.Version{Seq: seq, Writer: node.ID(writer)}
+}
+
+func hist(ops ...workload.Op) *workload.History {
+	h := workload.NewHistory()
+	for _, op := range ops {
+		h.Append(op)
+	}
+	return h
+}
+
+func wantOne(t *testing.T, vs []Violation, g Guarantee, client int, key string) Violation {
+	t.Helper()
+	if len(vs) != 1 {
+		t.Fatalf("want exactly 1 violation, got %d: %v", len(vs), vs)
+	}
+	got := vs[0]
+	if got.Guarantee != g || got.Client != client || got.Key != key {
+		t.Fatalf("want %s violation for client %d key %s, got %s", g, client, key, got)
+	}
+	return got
+}
+
+func TestCheckEmptyAndCleanHistories(t *testing.T) {
+	if vs := Check(nil); vs != nil {
+		t.Fatalf("nil history: got %v", vs)
+	}
+	if vs := Check(workload.NewHistory()); vs != nil {
+		t.Fatalf("empty history: got %v", vs)
+	}
+	// A well-behaved session: write, ack, read back the same version,
+	// then read a newer version someone else wrote.
+	clean := hist(
+		workload.Op{Client: 0, Kind: workload.OpWrite, Key: "k", Version: v(1, 7), Issued: 10, Completed: 12},
+		workload.Op{Client: 0, Kind: workload.OpRead, Key: "k", Version: v(1, 7), Issued: 15, Completed: 17},
+		workload.Op{Client: 0, Kind: workload.OpRead, Key: "k", Version: v(2, 9), Issued: 20, Completed: 22},
+		workload.Op{Client: 0, Kind: workload.OpWrite, Key: "k", Version: v(3, 7), Issued: 25, Completed: 27},
+	)
+	if vs := Check(clean); len(vs) != 0 {
+		t.Fatalf("clean history: got %v", vs)
+	}
+}
+
+func TestCheckReadYourWritesViolation(t *testing.T) {
+	// Client 3 writes v5 (acked at round 12), then at round 20 reads
+	// back only v4 — a stale read of its own acknowledged write.
+	h := hist(
+		workload.Op{Client: 3, Kind: workload.OpWrite, Key: "sk-1", Version: v(5, 3), Issued: 10, Completed: 12},
+		workload.Op{Client: 3, Kind: workload.OpRead, Key: "sk-1", Version: v(4, 8), Issued: 20, Completed: 21},
+	)
+	got := wantOne(t, Check(h), ReadYourWrites, 3, "sk-1")
+	if got.OpIndex != 1 || got.Round != 21 {
+		t.Fatalf("violation anchored wrong: %+v", got)
+	}
+	if !strings.Contains(got.String(), "read-your-writes") {
+		t.Fatalf("String() missing guarantee: %s", got)
+	}
+}
+
+func TestCheckReadYourWritesUnackedWriteDoesNotAnchor(t *testing.T) {
+	// The write was never acknowledged (Completed 0): the client has no
+	// evidence it durably happened, so a subsequent older read is not a
+	// session violation.
+	h := hist(
+		workload.Op{Client: 1, Kind: workload.OpWrite, Key: "k", Version: v(5, 1), Issued: 10, Completed: 0},
+		workload.Op{Client: 1, Kind: workload.OpRead, Key: "k", Version: v(4, 8), Issued: 20, Completed: 21},
+	)
+	if vs := Check(h); len(vs) != 0 {
+		t.Fatalf("unacked write must not anchor RYW: %v", vs)
+	}
+}
+
+func TestCheckReadYourWritesAckAfterIssueDoesNotAnchor(t *testing.T) {
+	// The ack arrived at round 30 but the read was issued at round 20:
+	// at issue time the client had not yet seen the ack, so observing
+	// the older version is allowed.
+	h := hist(
+		workload.Op{Client: 1, Kind: workload.OpWrite, Key: "k", Version: v(5, 1), Issued: 10, Completed: 30},
+		workload.Op{Client: 1, Kind: workload.OpRead, Key: "k", Version: v(4, 8), Issued: 20, Completed: 21},
+	)
+	if vs := Check(h); len(vs) != 0 {
+		t.Fatalf("late ack must not anchor RYW: %v", vs)
+	}
+}
+
+func TestCheckMonotonicReadsViolation(t *testing.T) {
+	// The session observed v7, then a later read steps back to v6.
+	h := hist(
+		workload.Op{Client: 2, Kind: workload.OpRead, Key: "sk-9", Version: v(7, 4), Issued: 10, Completed: 11},
+		workload.Op{Client: 2, Kind: workload.OpRead, Key: "sk-9", Version: v(6, 4), Issued: 15, Completed: 16},
+	)
+	got := wantOne(t, Check(h), MonotonicReads, 2, "sk-9")
+	if got.OpIndex != 1 {
+		t.Fatalf("violation anchored wrong: %+v", got)
+	}
+}
+
+func TestCheckMonotonicReadsConcurrentReadsAllowed(t *testing.T) {
+	// The second read was issued (round 12) before the first completed
+	// (round 14): they overlap, so observing an older version is fine.
+	h := hist(
+		workload.Op{Client: 2, Kind: workload.OpRead, Key: "k", Version: v(7, 4), Issued: 10, Completed: 14},
+		workload.Op{Client: 2, Kind: workload.OpRead, Key: "k", Version: v(6, 4), Issued: 12, Completed: 16},
+	)
+	if vs := Check(h); len(vs) != 0 {
+		t.Fatalf("overlapping reads must not violate MR: %v", vs)
+	}
+}
+
+func TestCheckMissesAndPendingReadsSkipped(t *testing.T) {
+	h := hist(
+		workload.Op{Client: 0, Kind: workload.OpWrite, Key: "k", Version: v(3, 1), Issued: 5, Completed: 6},
+		workload.Op{Client: 0, Kind: workload.OpRead, Key: "k", Miss: true, Issued: 10, Completed: 12},
+		workload.Op{Client: 0, Kind: workload.OpRead, Key: "k", Pending: true, Issued: 11},
+	)
+	if vs := Check(h); len(vs) != 0 {
+		t.Fatalf("misses/pending reads are availability anomalies, not session ones: %v", vs)
+	}
+}
+
+func TestCheckWritesFollowReadsViolation(t *testing.T) {
+	// The session read v9, then its own write was sequenced at v8 —
+	// ordered before a version the session already depends on.
+	h := hist(
+		workload.Op{Client: 5, Kind: workload.OpRead, Key: "sk-2", Version: v(9, 6), Issued: 10, Completed: 11},
+		workload.Op{Client: 5, Kind: workload.OpWrite, Key: "sk-2", Version: v(8, 5), Issued: 20, Completed: 22},
+	)
+	got := wantOne(t, Check(h), WritesFollowRead, 5, "sk-2")
+	if got.OpIndex != 1 {
+		t.Fatalf("violation anchored wrong: %+v", got)
+	}
+}
+
+func TestCheckSessionsAreIndependent(t *testing.T) {
+	// Client 1's stale read of client 0's write is not a violation:
+	// session guarantees bind a single client's view, not cross-client
+	// freshness.
+	h := hist(
+		workload.Op{Client: 0, Kind: workload.OpWrite, Key: "k", Version: v(5, 1), Issued: 10, Completed: 12},
+		workload.Op{Client: 1, Kind: workload.OpRead, Key: "k", Version: v(4, 8), Issued: 20, Completed: 21},
+	)
+	if vs := Check(h); len(vs) != 0 {
+		t.Fatalf("cross-client staleness is not a session violation: %v", vs)
+	}
+	// Same for distinct keys within one client.
+	h2 := hist(
+		workload.Op{Client: 0, Kind: workload.OpWrite, Key: "a", Version: v(5, 1), Issued: 10, Completed: 12},
+		workload.Op{Client: 0, Kind: workload.OpRead, Key: "b", Version: v(4, 8), Issued: 20, Completed: 21},
+	)
+	if vs := Check(h2); len(vs) != 0 {
+		t.Fatalf("distinct keys are independent sessions: %v", vs)
+	}
+}
+
+func TestCheckMultipleViolationsReportedInOrder(t *testing.T) {
+	h := hist(
+		workload.Op{Client: 0, Kind: workload.OpWrite, Key: "k", Version: v(5, 1), Issued: 1, Completed: 2},
+		workload.Op{Client: 0, Kind: workload.OpRead, Key: "k", Version: v(4, 8), Issued: 5, Completed: 6},   // RYW
+		workload.Op{Client: 0, Kind: workload.OpRead, Key: "k", Version: v(3, 8), Issued: 10, Completed: 11}, // RYW + MR
+	)
+	vs := Check(h)
+	if len(vs) != 3 {
+		t.Fatalf("want 3 violations, got %d: %v", len(vs), vs)
+	}
+	if vs[0].OpIndex != 1 || vs[0].Guarantee != ReadYourWrites {
+		t.Fatalf("vs[0]: %+v", vs[0])
+	}
+	if vs[1].Guarantee != ReadYourWrites || vs[2].Guarantee != MonotonicReads || vs[1].OpIndex != 2 || vs[2].OpIndex != 2 {
+		t.Fatalf("vs[1:]: %v", vs[1:])
+	}
+}
+
+func TestCheckConvergence(t *testing.T) {
+	round := 500
+	keys := []KeyReplicas{
+		{Key: "ok", Latest: v(3, 1), Copies: []ReplicaCopy{{Node: 1, Version: v(3, 1)}, {Node: 2, Version: v(3, 1)}}},
+		{Key: "stale", Latest: v(3, 1), Copies: []ReplicaCopy{{Node: 1, Version: v(3, 1)}, {Node: 4, Version: v(2, 9)}}},
+		{Key: "phantom", Latest: v(3, 1), Copies: []ReplicaCopy{{Node: 5, Version: v(4, 2)}}},
+		{Key: "lost", Latest: v(1, 1), Copies: nil},
+	}
+	vs := CheckConvergence(keys, round)
+	if len(vs) != 3 {
+		t.Fatalf("want 3 violations, got %d: %v", len(vs), vs)
+	}
+	byKey := map[string]Violation{}
+	for _, viol := range vs {
+		if viol.Guarantee != Convergence || viol.Round != round || viol.OpIndex != -1 {
+			t.Fatalf("bad convergence violation: %+v", viol)
+		}
+		byKey[viol.Key] = viol
+	}
+	if _, ok := byKey["ok"]; ok {
+		t.Fatal("converged key reported")
+	}
+	if viol := byKey["stale"]; !strings.Contains(viol.Detail, "stale") {
+		t.Fatalf("stale key: %s", viol)
+	}
+	if viol := byKey["phantom"]; !strings.Contains(viol.Detail, "phantom") {
+		t.Fatalf("phantom key: %s", viol)
+	}
+	if viol := byKey["lost"]; !strings.Contains(viol.Detail, "no live copy") {
+		t.Fatalf("lost key: %s", viol)
+	}
+}

@@ -105,6 +105,14 @@ type Config struct {
 	// key, so fanning the same batch out to a few peers multiplies the
 	// chance of reaching a keeper per sweep. Zero means 2.
 	SupersedePeers int
+	// SupersedeMaxEvery caps the supersession sweep backoff. The sweep
+	// starts at SupersedeEvery and doubles its gap after every round of
+	// hints that surfaces no divergence, so a converged idle cluster's
+	// supersession traffic decays toward zero instead of paying the
+	// uniform cadence forever; any observed mismatch (a copy retired, a
+	// peer behind, a newer version learned) snaps the cadence back to
+	// SupersedeEvery. Zero means 64×SupersedeEvery.
+	SupersedeMaxEvery int
 }
 
 func (c Config) normalized() Config {
@@ -155,6 +163,9 @@ func (c Config) normalized() Config {
 	}
 	if c.SupersedePeers == 0 {
 		c.SupersedePeers = 2
+	}
+	if c.SupersedeMaxEvery == 0 && c.SupersedeEvery > 0 {
+		c.SupersedeMaxEvery = 64 * c.SupersedeEvery
 	}
 	return c
 }
@@ -308,6 +319,17 @@ type Manager struct {
 
 	// supersedeCursor walks the store across supersession sweeps.
 	supersedeCursor string
+	// Supersession-sweep backoff state: the next sweep fires at
+	// supersedeNext; supersedeGap doubles (capped at SupersedeMaxEvery)
+	// after each sweep, and any observed divergence since the last sweep
+	// (diverged) snaps the gap back to SupersedeEvery. now mirrors the
+	// round clock at Tick/Handle entry so noteDivergence can pull the
+	// next sweep forward without threading the clock through every
+	// handler.
+	supersedeGap  int
+	supersedeNext sim.Round
+	diverged      bool
+	now           sim.Round
 	// confirms records, per bystander key, the first keeper that
 	// answered Held: the copy is only released when a *second, distinct*
 	// keeper confirms, so one keeper crashing right after its
@@ -325,6 +347,7 @@ type Manager struct {
 	// Repair-traffic counters surfaced in ddbench scenario rows.
 	Segments   metrics.Counter // sub-range digests exchanged (segmented sync)
 	Superseded metrics.Counter // bystander copies dropped after a Held answer
+	Sweeps     metrics.Counter // supersession sweeps actually fired (backoff-visible)
 }
 
 // hotArc is one staleness-priority schedule entry.
@@ -359,6 +382,7 @@ func New(self node.ID, rng *rand.Rand, base sieve.ArcSieve, st *store.Store,
 		hot:          make(map[node.Arc]*hotArc),
 		queued:       make(map[node.Arc]bool),
 		confirms:     make(map[string]node.ID),
+		supersedeGap: cfg.normalized().SupersedeEvery,
 	}
 }
 
@@ -434,6 +458,12 @@ func (m *Manager) AdoptedCount() int { return len(m.adopted) }
 // durable responsibility.
 func (m *Manager) Start(now sim.Round) []sim.Envelope {
 	m.pending = nil
+	// A (re)joined node cannot assume the cluster is converged around
+	// it: restart the supersession sweep at full cadence.
+	m.supersedeGap = m.cfg.SupersedeEvery
+	m.supersedeNext = now
+	m.diverged = false
+	m.now = now
 	return nil
 }
 
@@ -445,6 +475,7 @@ func (m *Manager) Start(now sim.Round) []sim.Envelope {
 // message payloads (digest vectors, tuple batches), whose size varies
 // with store content and cannot come from a fixed pool.
 func (m *Manager) Tick(now sim.Round) []sim.Envelope {
+	m.now = now
 	var out []sim.Envelope
 	out = append(out, m.harvest(now)...)
 	out = append(out, m.harvestOrphans(now)...)
@@ -452,8 +483,16 @@ func (m *Manager) Tick(now sim.Round) []sim.Envelope {
 		out = append(out, m.syncHot()...)
 		out = append(out, m.checkQueued(now)...)
 	}
-	if m.cfg.SupersedeEvery > 0 && now%sim.Round(m.cfg.SupersedeEvery) == 0 {
+	if m.cfg.SupersedeEvery > 0 && now >= m.supersedeNext {
 		out = append(out, m.sweepBystanders()...)
+		m.Sweeps.Inc()
+		if m.diverged {
+			m.supersedeGap = m.cfg.SupersedeEvery
+			m.diverged = false
+		} else {
+			m.supersedeGap = min(m.supersedeGap*2, m.cfg.SupersedeMaxEvery)
+		}
+		m.supersedeNext = now + sim.Round(m.supersedeGap)
 	}
 	if now%sim.Round(m.cfg.CheckEvery) != 0 {
 		return out
@@ -569,6 +608,27 @@ func (m *Manager) noteBehind(p node.Point) {
 		}
 	}
 }
+
+// noteDivergence records evidence that the cluster is not converged
+// around this node — a copy was retired or refreshed, a peer turned out
+// to be behind, or a version this node lacked arrived. It snaps the
+// supersession sweep back to full cadence: the next sweep fires within
+// SupersedeEvery rounds and the backoff restarts from there.
+func (m *Manager) noteDivergence() {
+	if m.cfg.SupersedeEvery == 0 {
+		return
+	}
+	m.diverged = true
+	if next := m.now + sim.Round(m.cfg.SupersedeEvery); next < m.supersedeNext {
+		m.supersedeNext = next
+	}
+}
+
+// NoteDivergence is the cross-layer divergence signal: the epidemic
+// layer calls it when a gossiped write lands a version this node lacked
+// — fresh writes mint fresh last-resort copies, so the supersession
+// sweep must not idle through an active workload.
+func (m *Manager) NoteDivergence() { m.noteDivergence() }
 
 // queueCheck enqueues an arc for a priority walk-check, once.
 func (m *Manager) queueCheck(a node.Arc) {
@@ -853,6 +913,7 @@ func (m *Manager) release(arc node.Arc) {
 
 // Handle implements sim.Machine.
 func (m *Manager) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
+	m.now = now
 	switch msg := msg.(type) {
 	case SyncReq:
 		if m.st.DigestArc(msg.Arc) == msg.Digest {
@@ -890,6 +951,7 @@ func (m *Manager) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
 			return nil
 		}
 		m.Pushed += int64(len(tuples))
+		m.noteDivergence() // the peer is pulling content it lacked
 		return []sim.Envelope{{To: from, Msg: SyncPush{Tuples: tuples}}}
 	case SyncPush:
 		var newer []*tuple.Tuple
@@ -918,6 +980,7 @@ func (m *Manager) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
 				if m.Covers(t.Point()) {
 					m.noteBehind(t.Point())
 				}
+				m.noteDivergence()
 				continue
 			}
 			// Rejected as stale: read-repair the sender so last-resort
@@ -931,6 +994,7 @@ func (m *Manager) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
 				newer = newer[:m.cfg.MaxPush]
 			}
 			m.Pushed += int64(len(newer))
+			m.noteDivergence() // the sender pushed stale content
 			return []sim.Envelope{{To: from, Msg: SyncPush{Tuples: newer}}}
 		}
 	case AdoptReq:
@@ -1033,20 +1097,29 @@ func (m *Manager) handleSupersedeQuery(from node.ID, msg SupersedeQuery) []sim.E
 		switch {
 		case covers && !v.IsZero() && !v.Less(h.Version):
 			resp.Held = append(resp.Held, KeyVersion{Key: h.Key, Version: v})
+			if h.Version.Less(v) {
+				// The hinted copy is strictly stale: mismatch evidence.
+				// An equal-version Held is the converged steady state and
+				// must NOT reset the sweep backoff.
+				m.noteDivergence()
+			}
 		case covers:
 			// A bystander knows a version this keeper cannot confirm: ask
 			// for the copy, and priority-check the range — the hinted
 			// version may itself lag the newest keeper copy elsewhere.
 			resp.Want = append(resp.Want, h.Key)
 			m.noteBehind(p)
+			m.noteDivergence()
 		case v.IsZero():
 			// Neither responsible nor holding: nothing useful to answer.
 		case h.Version.Less(v):
 			if t, ok := m.st.GetAny(h.Key); ok {
 				resp.Newer = append(resp.Newer, t)
+				m.noteDivergence()
 			}
 		case v.Less(h.Version):
 			resp.Want = append(resp.Want, h.Key)
+			m.noteDivergence()
 		}
 	}
 	if len(resp.Held) == 0 && len(resp.Want) == 0 && len(resp.Newer) == 0 {
@@ -1084,6 +1157,9 @@ func (m *Manager) handleSupersedeResp(from node.ID, msg SupersedeResp) []sim.Env
 					m.confirms = make(map[string]node.ID)
 				}
 				m.confirms[h.Key] = from
+				// A half-confirmed retirement is in flight: keep the sweep
+				// at full cadence until the second keeper answers.
+				m.noteDivergence()
 				continue
 			}
 		}
@@ -1094,13 +1170,14 @@ func (m *Manager) handleSupersedeResp(from node.ID, msg SupersedeResp) []sim.Env
 			delete(m.orphanDone, h.Key)
 			delete(m.confirms, h.Key)
 			m.Superseded.Inc()
+			m.noteDivergence()
 		}
 	}
 	for _, t := range msg.Newer {
 		// Refresh in place only: a key already dropped (or never held)
 		// must not be resurrected by a late response.
-		if !m.st.Version(t.Key).IsZero() {
-			m.st.Apply(t)
+		if !m.st.Version(t.Key).IsZero() && m.st.Apply(t) {
+			m.noteDivergence()
 		}
 	}
 	var push []*tuple.Tuple
@@ -1116,6 +1193,7 @@ func (m *Manager) handleSupersedeResp(from node.ID, msg SupersedeResp) []sim.Env
 		push = push[:m.cfg.MaxPush]
 	}
 	m.Pushed += int64(len(push))
+	m.noteDivergence() // a keeper lacked copies we hold
 	return []sim.Envelope{{To: from, Msg: SyncPush{Tuples: push}}}
 }
 
@@ -1175,6 +1253,9 @@ func (m *Manager) reconcile(from node.ID, msg SyncVersions) []sim.Envelope {
 	if len(push) > 0 {
 		m.Pushed += int64(len(push))
 		out = append(out, sim.Envelope{To: from, Msg: SyncPush{Tuples: push}})
+	}
+	if len(out) > 0 {
+		m.noteDivergence() // a range diff found version mismatches
 	}
 	return out
 }

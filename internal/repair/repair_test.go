@@ -659,3 +659,72 @@ func TestSupersessionNeedsTwoDistinctKeeperConfirmations(t *testing.T) {
 		t.Fatalf("Superseded = %d, want 1", m.Superseded.Value())
 	}
 }
+
+func TestSupersedeSweepBackoffSchedule(t *testing.T) {
+	// With nothing diverging, consecutive sweeps double their gap from
+	// SupersedeEvery up to SupersedeMaxEvery; a divergence signal pulls
+	// the next sweep forward and restarts the ladder.
+	rng := rand.New(rand.NewSource(9))
+	st := store.New(rng)
+	sampler := membership.NewUniformView(1, rng, func() []node.ID { return []node.ID{1, 2} })
+	m := New(1, rng, &stubSieve{}, st, nil, sampler,
+		Config{Replication: 3, SupersedeEvery: 2, SupersedeMaxEvery: 16})
+	m.Start(0)
+	var sweeps []sim.Round
+	last := int64(0)
+	for now := sim.Round(0); now < 64; now++ {
+		m.Tick(now)
+		if v := m.Sweeps.Value(); v != last {
+			sweeps = append(sweeps, now)
+			last = v
+		}
+	}
+	want := []sim.Round{0, 4, 12, 28, 44, 60} // gaps 4,8,16,16,16 (doubling from 2, capped)
+	if fmt.Sprint(sweeps) != fmt.Sprint(want) {
+		t.Fatalf("sweep rounds = %v, want %v", sweeps, want)
+	}
+	// Divergence at round 63 (a push applies a version we lacked): the
+	// next sweep fires within SupersedeEvery rounds, not at 60+16=76.
+	m.Handle(63, 2, SyncPush{Tuples: []*tuple.Tuple{mk("fresh-key", 1, "v")}})
+	if !m.diverged {
+		t.Fatal("applied push did not flag divergence")
+	}
+	if m.supersedeNext != 65 {
+		t.Fatalf("supersedeNext = %d after divergence at 63, want 65", m.supersedeNext)
+	}
+	for now := sim.Round(64); now < 70; now++ {
+		m.Tick(now)
+	}
+	// Sweep fired at 65 with the gap reset: the following one is due two
+	// rounds later (67), proving the ladder restarted from SupersedeEvery.
+	if m.Sweeps.Value() != last+2 { // 65, 67; the next (gap 4 → 71) is pending
+		t.Fatalf("Sweeps = %d after reset window, want %d", m.Sweeps.Value(), last+2)
+	}
+}
+
+func TestSupersedeSweepDecaysOnConvergedCluster(t *testing.T) {
+	// Four keepers of the full ring hold identical content: every hint
+	// draws an equal-version Held answer, which is the converged steady
+	// state and must NOT hold the sweep at full cadence. Over 300 rounds
+	// a uniform SupersedeEvery=2 cadence would fire 150 sweeps per node;
+	// the backoff ladder (2,4,...,128 capped) fires ~10.
+	cfg := Config{Replication: 3, NEst: func() float64 { return 4 },
+		Walks: 8, TTL: 3, CheckEvery: 10, Grace: 1000,
+		SegBits: 3, SupersedeEvery: 2}
+	full := []node.Arc{node.FullArc()}
+	c := newCluster(4, 17, cfg, func(i int) []node.Arc { return full })
+	for _, tn := range c.nodes {
+		for i := 0; i < 12; i++ {
+			tn.st.Apply(mk(fmt.Sprintf("conv-%d", i), 3, "settled"))
+		}
+	}
+	c.net.Run(300)
+	for id, tn := range c.nodes {
+		if got := tn.mgr.Sweeps.Value(); got > 20 {
+			t.Fatalf("node %d fired %d sweeps over 300 converged rounds, want backoff decay (<= 20)", id, got)
+		}
+		if got := tn.mgr.Sweeps.Value(); got < 3 {
+			t.Fatalf("node %d fired only %d sweeps, backoff should not stall the sweep entirely", id, got)
+		}
+	}
+}

@@ -108,6 +108,17 @@ func (c *Churner) Step() {
 // revival.
 func (c *Churner) Down() int { return len(c.down) }
 
+// Quiesce stops the failure and join processes while preserving the
+// revival schedule: nodes already down still come back on time. A
+// fault-window driver calls it when its churn window closes, then keeps
+// stepping until Down() reaches zero so no transient failure outlives
+// the window.
+func (c *Churner) Quiesce() {
+	c.cfg.TransientPerRound = 0
+	c.cfg.PermanentPerRound = 0
+	c.cfg.JoinPerRound = 0
+}
+
 // downtime samples a geometric downtime with the configured mean, >= 1.
 func (c *Churner) downtime() int {
 	mean := c.cfg.MeanDowntime

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"datadroplets/internal/tuple"
+)
+
+func TestHistoryDisabledZeroValueIsNoOp(t *testing.T) {
+	var h History
+	if h.Enabled() {
+		t.Fatal("zero-value history reports enabled")
+	}
+	if idx := h.Append(Op{Client: 1, Kind: OpWrite, Key: "k"}); idx != -1 {
+		t.Fatalf("disabled append returned %d, want -1", idx)
+	}
+	if h.Len() != 0 {
+		t.Fatalf("disabled history recorded %d ops", h.Len())
+	}
+	var nilH *History
+	if nilH.Enabled() || nilH.Len() != 0 || nilH.Digest() != 0 {
+		t.Fatal("nil history must be inert")
+	}
+}
+
+func TestHistoryAppendAndDigest(t *testing.T) {
+	mkOp := func(seq uint64) Op {
+		return Op{Client: 2, Kind: OpRead, Key: "sk-000001",
+			Version: tuple.Version{Seq: seq, Writer: 9}, Issued: 10, Completed: 12}
+	}
+	a, b := NewHistory(), NewHistory()
+	for i := uint64(1); i <= 5; i++ {
+		if idx := a.Append(mkOp(i)); idx != int(i-1) {
+			t.Fatalf("append %d returned index %d", i, idx)
+		}
+		b.Append(mkOp(i))
+	}
+	if a.Digest() == 0 || a.Digest() != b.Digest() {
+		t.Fatalf("identical histories digest %x vs %x", a.Digest(), b.Digest())
+	}
+	// Every field must be digest-visible.
+	variants := []Op{
+		{Client: 3, Kind: OpRead, Key: "sk-000001", Version: tuple.Version{Seq: 6, Writer: 9}, Issued: 10, Completed: 12},
+		{Client: 2, Kind: OpWrite, Key: "sk-000001", Version: tuple.Version{Seq: 6, Writer: 9}, Issued: 10, Completed: 12},
+		{Client: 2, Kind: OpRead, Key: "sk-000002", Version: tuple.Version{Seq: 6, Writer: 9}, Issued: 10, Completed: 12},
+		{Client: 2, Kind: OpRead, Key: "sk-000001", Version: tuple.Version{Seq: 7, Writer: 9}, Issued: 10, Completed: 12},
+		{Client: 2, Kind: OpRead, Key: "sk-000001", Version: tuple.Version{Seq: 6, Writer: 8}, Issued: 10, Completed: 12},
+		{Client: 2, Kind: OpRead, Key: "sk-000001", Version: tuple.Version{Seq: 6, Writer: 9}, Issued: 11, Completed: 12},
+		{Client: 2, Kind: OpRead, Key: "sk-000001", Version: tuple.Version{Seq: 6, Writer: 9}, Issued: 10, Completed: 13},
+		{Client: 2, Kind: OpRead, Key: "sk-000001", Version: tuple.Version{Seq: 6, Writer: 9}, Issued: 10, Completed: 12, Miss: true},
+		{Client: 2, Kind: OpRead, Key: "sk-000001", Version: tuple.Version{Seq: 6, Writer: 9}, Issued: 10, Completed: 12, Pending: true},
+	}
+	base := NewHistory()
+	base.Append(Op{Client: 2, Kind: OpRead, Key: "sk-000001", Version: tuple.Version{Seq: 6, Writer: 9}, Issued: 10, Completed: 12})
+	seen := map[uint64]int{base.Digest(): -1}
+	for i, op := range variants {
+		h := NewHistory()
+		h.Append(op)
+		if prev, dup := seen[h.Digest()]; dup {
+			t.Fatalf("variant %d collides with %d: field not digest-visible", i, prev)
+		}
+		seen[h.Digest()] = i
+	}
+}
+
+func TestKeyChooserUniformMatchesRawIntn(t *testing.T) {
+	// The uniform chooser must consume the RNG stream exactly like the
+	// legacy inline rng.Intn(n) draw — this is what keeps default
+	// scenario traces byte-identical.
+	const n = 192
+	a := rand.New(rand.NewSource(77))
+	b := rand.New(rand.NewSource(77))
+	choose, err := NewKeyChooser(ReadDistUniform, n, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if got, want := choose(), b.Intn(n); got != want {
+			t.Fatalf("draw %d: chooser %d, raw Intn %d", i, got, want)
+		}
+	}
+}
+
+func TestKeyChooserBoundsAndDeterminism(t *testing.T) {
+	const n = 160
+	for _, dist := range ReadDists() {
+		a, _ := NewKeyChooser(dist, n, rand.New(rand.NewSource(5)))
+		b, _ := NewKeyChooser(dist, n, rand.New(rand.NewSource(5)))
+		for i := 0; i < 5000; i++ {
+			ka, kb := a(), b()
+			if ka != kb {
+				t.Fatalf("%s: draw %d differs across equal seeds (%d vs %d)", dist, i, ka, kb)
+			}
+			if ka < 0 || ka >= n {
+				t.Fatalf("%s: draw %d out of range: %d", dist, i, ka)
+			}
+		}
+	}
+	if _, err := NewKeyChooser("bogus", n, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+	if _, err := NewKeyChooser(ReadDistUniform, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestKeyChooserSkewShapes(t *testing.T) {
+	const n, draws = 200, 20000
+	count := func(dist string) []int {
+		c := make([]int, n)
+		choose, err := NewKeyChooser(dist, n, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < draws; i++ {
+			c[choose()]++
+		}
+		return c
+	}
+	// Hot: ~90% of draws land in the hottest n/10 keys.
+	hot := count(ReadDistHot)
+	head := 0
+	for i := 0; i < n/10; i++ {
+		head += hot[i]
+	}
+	if frac := float64(head) / draws; frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot head fraction = %.3f, want ~0.90", frac)
+	}
+	// Zipf: the hottest key dominates any mid-range key.
+	zipf := count(ReadDistZipf)
+	if zipf[0] < 10*zipf[n/2+1] {
+		t.Fatalf("zipf head %d not dominant over mid tail %d", zipf[0], zipf[n/2+1])
+	}
+	// Scan: runs are sequential — consecutive draws differ by one
+	// (mod n) within a window.
+	choose, _ := NewKeyChooser(ReadDistScan, n, rand.New(rand.NewSource(3)))
+	prev := choose()
+	sequential := 0
+	for i := 1; i < 1000; i++ {
+		k := choose()
+		if k == (prev+1)%n {
+			sequential++
+		}
+		prev = k
+	}
+	if sequential < 900 {
+		t.Fatalf("scan produced only %d/999 sequential steps", sequential)
+	}
+}
