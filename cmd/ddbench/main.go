@@ -13,6 +13,7 @@
 //	ddbench -run scenarios -scenario slow-node -converge   # convergence overhaul on
 //	ddbench -run scenarios -both                           # legacy AND converge rows
 //	ddbench -run fuzz -seeds 20 -workers 1,2,4,8           # consistency fuzzer
+//	ddbench -run repaircost -json BENCH_simscale.json      # splice repair_cost section
 //	ddbench -list
 //
 // Besides the experiment IDs, -run throughput sweeps the pipelined
@@ -47,7 +48,7 @@ func main() { os.Exit(realMain()) }
 // defers installed below always run (os.Exit would skip them).
 func realMain() int {
 	var (
-		run      = flag.String("run", "all", "comma-separated experiment IDs, 'all', 'throughput', 'simscale', or 'scenarios'")
+		run      = flag.String("run", "all", "comma-separated experiment IDs, 'all', 'throughput', 'simscale', 'scenarios', 'fuzz', or 'repaircost'")
 		scale    = flag.Float64("scale", 0.25, "population/trial scale (1.0 = paper scale)")
 		seed     = flag.Int64("seed", 42, "random seed")
 		csv      = flag.String("csv", "", "directory to write per-table CSV files (optional)")
@@ -102,6 +103,7 @@ func realMain() int {
 		fmt.Println("simscale")
 		fmt.Println("scenarios")
 		fmt.Println("fuzz")
+		fmt.Println("repaircost")
 		for _, name := range experiments.ScenarioNames() {
 			fmt.Printf("scenarios -scenario %s\n", name)
 		}
@@ -123,6 +125,14 @@ func realMain() int {
 			return 2
 		}
 		if err := runSimScale(*seed, *scale, *jsonOut, ws); err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *run == "repaircost" {
+		if err := runRepairCost(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
 			return 1
 		}

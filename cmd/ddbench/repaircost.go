@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"datadroplets/internal/node"
+	"datadroplets/internal/store"
+	"datadroplets/internal/tuple"
+)
+
+// repairCostBench is the million-key repair-serving measurement: what an
+// anti-entropy responder pays to digest, segment and enumerate a ≤1/16
+// arc of a million-key store, against the full-walk baseline the
+// ring-bucket index replaced. The committed numbers back the README's
+// before/after claim; benchcmp compares them across reports.
+type repairCostBench struct {
+	Keys     int     `json:"keys"`
+	ArcFrac  float64 `json:"arc_fraction"`
+	Segments int     `json:"segments"`
+
+	// DigestArc via the ring-bucket index vs the public-API full walk
+	// (ForEachRef + EntryHash + arc filter) it replaced.
+	DigestArcNsPerOp         float64 `json:"digest_arc_ns_per_op"`
+	DigestArcFullScanNsPerOp float64 `json:"digest_arc_full_scan_ns_per_op"`
+	DigestSpeedupX           float64 `json:"digest_speedup_x"`
+
+	SegmentDigestsNsPerOp float64 `json:"segment_digests_ns_per_op"`
+	VersionsInArcNsPerOp  float64 `json:"versions_in_arc_ns_per_op"`
+
+	// Mean entries examined one by one per serve and whole buckets folded
+	// per serve over the timed index-served calls (store.ServeStats
+	// deltas). Scanned-per-serve ≈ Keys would mean full scans are back.
+	EntriesScannedPerServe float64 `json:"entries_scanned_per_serve"`
+	BucketsFoldedPerServe  float64 `json:"buckets_folded_per_serve"`
+}
+
+// timeOp runs fn repeatedly until minDuration elapses (at least once)
+// and returns the mean ns/op.
+func timeOp(minDuration time.Duration, fn func()) float64 {
+	var n int
+	start := time.Now()
+	for {
+		fn()
+		n++
+		if time.Since(start) >= minDuration {
+			break
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n)
+}
+
+// runRepairCostBench loads a million-key store and measures the arc-serve
+// operations the repair machinery leans on every round.
+func runRepairCostBench() repairCostBench {
+	const keys = 1_000_000
+	const segments = 8
+	out := repairCostBench{Keys: keys, ArcFrac: 1.0 / 16, Segments: segments}
+
+	st := store.New(rand.New(rand.NewSource(21)))
+	for i := 0; i < keys; i++ {
+		st.Apply(&tuple.Tuple{
+			Key:     fmt.Sprintf("user:%07d", i),
+			Value:   []byte("v"),
+			Version: tuple.Version{Seq: uint64(1 + i%5), Writer: node.ID(1 + i%7)},
+		})
+	}
+	arc := node.Arc{Start: 0x12345678_9abcdef0, Width: ^uint64(0) / 16}
+
+	ops0, scanned0, folded0 := st.ServeStats()
+	var sink uint64
+	out.DigestArcNsPerOp = timeOp(200*time.Millisecond, func() {
+		sink ^= st.DigestArc(arc)
+	})
+	out.SegmentDigestsNsPerOp = timeOp(200*time.Millisecond, func() {
+		digests, _ := st.SegmentDigests(arc, segments)
+		sink ^= digests[0]
+	})
+	var buf []store.VersionEntry
+	out.VersionsInArcNsPerOp = timeOp(200*time.Millisecond, func() {
+		buf = st.AppendVersionsInArc(buf[:0], arc)
+	})
+	ops1, scanned1, folded1 := st.ServeStats()
+	if serves := ops1 - ops0; serves > 0 {
+		out.EntriesScannedPerServe = float64(scanned1-scanned0) / float64(serves)
+		out.BucketsFoldedPerServe = float64(folded1-folded0) / float64(serves)
+	}
+
+	// The pre-index baseline, reconstructed over the public API: walk
+	// every entry, filter by arc membership, fold the same digest.
+	out.DigestArcFullScanNsPerOp = timeOp(2*time.Second, func() {
+		var d uint64
+		st.ForEachRef(func(t *tuple.Tuple) bool {
+			if arc.Contains(t.Point()) {
+				d ^= store.EntryHash(t.Key, t.Version)
+			}
+			return true
+		})
+		sink ^= d
+	})
+	out.DigestSpeedupX = out.DigestArcFullScanNsPerOp / out.DigestArcNsPerOp
+	_ = sink
+	return out
+}
+
+func printRepairCost(rc repairCostBench) {
+	fmt.Printf("repair cost at %d keys, %.4f-ring arc: DigestArc %.0f ns/op (full scan %.0f ns/op, %.0fx), SegmentDigests(%d) %.0f ns/op, VersionsInArc %.0f ns/op\n",
+		rc.Keys, rc.ArcFrac, rc.DigestArcNsPerOp, rc.DigestArcFullScanNsPerOp,
+		rc.DigestSpeedupX, rc.Segments, rc.SegmentDigestsNsPerOp, rc.VersionsInArcNsPerOp)
+	fmt.Printf("           per serve: %.0f entries scanned, %.0f whole buckets folded\n",
+		rc.EntriesScannedPerServe, rc.BucketsFoldedPerServe)
+}
+
+// runRepairCost measures the repair-serving benchmark standalone and, if
+// jsonPath is given, splices the repair_cost section into that report —
+// updating an existing report (e.g. the committed simscale baseline) in
+// place without re-running its population sweep, or writing a minimal
+// new one.
+func runRepairCost(jsonPath string) error {
+	rc := runRepairCostBench()
+	printRepairCost(rc)
+	if jsonPath == "" {
+		return nil
+	}
+	doc := map[string]any{"benchmark": "repaircost"}
+	if buf, err := os.ReadFile(jsonPath); err == nil {
+		doc = map[string]any{}
+		if err := json.Unmarshal(buf, &doc); err != nil {
+			return fmt.Errorf("%s exists but is not a JSON report: %w", jsonPath, err)
+		}
+	}
+	doc["repair_cost"] = rc
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}

@@ -46,7 +46,12 @@ type simscaleRow struct {
 	BytesPerRound  float64 `json:"bytes_per_round"`
 	Sent           int64   `json:"sent"`
 	Delivered      int64   `json:"delivered"`
-	Digest         string  `json:"digest"`
+	// Digest-serve cost of the run (store.ServeStats summed across
+	// nodes); absent in reports written before the ring-bucket index.
+	DigestServes         int64  `json:"digest_serves,omitempty"`
+	DigestEntriesScanned int64  `json:"digest_entries_scanned,omitempty"`
+	DigestBucketsFolded  int64  `json:"digest_buckets_folded,omitempty"`
+	Digest               string `json:"digest"`
 }
 
 type simscaleReport struct {
@@ -57,13 +62,14 @@ type simscaleReport struct {
 	// CPUs/GOMAXPROCS carry the same facts machine-readably: benchcmp
 	// refuses rounds/sec comparisons between reports measured on hosts
 	// with different parallel capacity.
-	Host       string          `json:"host,omitempty"`
-	CPUs       int             `json:"cpus,omitempty"`
-	GOMAXPROCS int             `json:"gomaxprocs,omitempty"`
-	Baseline   *simscaleRow    `json:"baseline_pre_pr,omitempty"`
-	SpeedupX   float64         `json:"speedup_at_baseline_n,omitempty"`
-	SoftLayer  *softLayerBench `json:"soft_layer_million_keys,omitempty"`
-	Results    []simscaleRow   `json:"results"`
+	Host       string           `json:"host,omitempty"`
+	CPUs       int              `json:"cpus,omitempty"`
+	GOMAXPROCS int              `json:"gomaxprocs,omitempty"`
+	Baseline   *simscaleRow     `json:"baseline_pre_pr,omitempty"`
+	SpeedupX   float64          `json:"speedup_at_baseline_n,omitempty"`
+	SoftLayer  *softLayerBench  `json:"soft_layer_million_keys,omitempty"`
+	RepairCost *repairCostBench `json:"repair_cost,omitempty"`
+	Results    []simscaleRow    `json:"results"`
 }
 
 // simscaleBaseline is the measured pre-optimisation reference (map-keyed
@@ -153,17 +159,20 @@ func runSoftLayerMillionKeys() softLayerBench {
 
 func toRow(r *experiments.SimScaleResult) simscaleRow {
 	return simscaleRow{
-		Nodes:          r.Nodes,
-		Rounds:         r.Rounds,
-		Workers:        r.Workers,
-		ElapsedSeconds: r.ElapsedSeconds,
-		RoundsPerSec:   r.RoundsPerSec,
-		SecondsPerRnd:  r.SecondsPerRnd,
-		AllocsPerRound: r.AllocsPerRound,
-		BytesPerRound:  r.BytesPerRound,
-		Sent:           r.Sent,
-		Delivered:      r.Delivered,
-		Digest:         fmt.Sprintf("%016x", r.Digest()),
+		Nodes:                r.Nodes,
+		Rounds:               r.Rounds,
+		Workers:              r.Workers,
+		ElapsedSeconds:       r.ElapsedSeconds,
+		RoundsPerSec:         r.RoundsPerSec,
+		SecondsPerRnd:        r.SecondsPerRnd,
+		AllocsPerRound:       r.AllocsPerRound,
+		BytesPerRound:        r.BytesPerRound,
+		Sent:                 r.Sent,
+		Delivered:            r.Delivered,
+		DigestServes:         r.DigestServes,
+		DigestEntriesScanned: r.DigestEntriesScanned,
+		DigestBucketsFolded:  r.DigestBucketsFolded,
+		Digest:               fmt.Sprintf("%016x", r.Digest()),
 	}
 }
 
@@ -248,14 +257,18 @@ func runSimScale(seed int64, scale float64, jsonPath string, workerCounts []int)
 		}
 	}
 
-	// Million-key soft-layer row: only at full scale, like the 100k
-	// population — CI compares fabric rows and should stay fast.
+	// Million-key soft-layer and repair-cost rows: only at full scale,
+	// like the 100k population — CI compares fabric rows and should stay
+	// fast (-run repaircost measures the latter standalone).
 	if scale >= 1 {
 		sl := runSoftLayerMillionKeys()
 		report.SoftLayer = &sl
 		fmt.Printf("soft layer at %d keys: sequencer build %.2fs, Next %.0f ns/op; directory build %.2fs, Hints %.0f ns/op; live heap %.1f MB\n",
 			sl.Keys, sl.SequencerBuildSecs, sl.SequencerNextNsPerOp,
 			sl.DirectoryBuildSecs, sl.DirectoryHintNsPerOp, sl.LiveHeapMB)
+		rc := runRepairCostBench()
+		report.RepairCost = &rc
+		printRepairCost(rc)
 	}
 
 	if jsonPath != "" {

@@ -95,9 +95,12 @@ type ScenarioConfig struct {
 	Warmup int
 	// FaultRounds overrides the scenario's fault-window length.
 	FaultRounds int
-	// MaxRecovery bounds the post-fault convergence wait. Zero means 600
-	// (the legacy whole-arc range sync needs several hundred rounds to
-	// clear the slow-node scenario's last stale keeper copies).
+	// MaxRecovery bounds the post-fault convergence wait. Zero means 800:
+	// the legacy whole-arc range sync needs several hundred rounds to
+	// clear the slow-node scenario's last stale keeper copies (524 at the
+	// baseline seed), and full convergence in Converge mode is heavy-
+	// tailed on top of that (flap-storm's last stale bystander clears
+	// around round 600 at seed 42).
 	MaxRecovery int
 	// Converge enables the convergence overhaul: segmented range sync
 	// with staleness-priority scheduling, bystander supersession hints,
@@ -129,6 +132,14 @@ type ScenarioConfig struct {
 	// schedule). The fuzzer composes schedules here; Name then only
 	// labels the run.
 	Events []FaultEvent
+	// IdleTail, when positive, keeps the cluster running that many extra
+	// client-free rounds after the recovery phase and reports the repair
+	// traffic and digest-serve cost of the tail as deltas (the Idle*
+	// result fields). This is the steady-state probe: a converged idle
+	// cluster should push ~no tuples and serve its background syncs from
+	// the digest index, not by store scans. Zero (the default) skips the
+	// tail entirely — rounds, trace and digests are unchanged.
+	IdleTail int
 }
 
 func (c ScenarioConfig) normalized() (ScenarioConfig, error) {
@@ -173,7 +184,7 @@ func (c ScenarioConfig) normalized() (ScenarioConfig, error) {
 		c.Warmup = 30
 	}
 	if c.MaxRecovery <= 0 {
-		c.MaxRecovery = 600
+		c.MaxRecovery = 800
 	}
 	if c.Converge && c.ReadsPerRound == 0 {
 		c.ReadsPerRound = 4
@@ -241,6 +252,31 @@ type ScenarioResult struct {
 	TuplesPushed         int64 `json:"tuples_pushed"`
 	ReadRepairs          int64 `json:"read_repairs"`
 	BystandersSuperseded int64 `json:"bystanders_superseded"`
+
+	// Digest-serve cost summed across nodes (store.ServeStats): arc-query
+	// ops the run's repair traffic triggered, entries examined one by one
+	// in partial index buckets, and whole buckets folded from their
+	// precomputed digest. Cost accounting, not observable behaviour —
+	// deliberately excluded from Digest so serving-strategy changes don't
+	// invalidate committed golden digests.
+	DigestServes         int64 `json:"digest_serves"`
+	DigestEntriesScanned int64 `json:"digest_entries_scanned"`
+	DigestBucketsFolded  int64 `json:"digest_buckets_folded"`
+
+	// Idle-tail deltas (IdleTail > 0 only): what IdleTail client-free
+	// rounds after recovery cost in repair pushes and digest serving.
+	// Excluded from Digest like the serve counters above.
+	IdleRounds         int   `json:"idle_rounds,omitempty"`
+	IdleTuplesPushed   int64 `json:"idle_tuples_pushed,omitempty"`
+	IdleDigestServes   int64 `json:"idle_digest_serves,omitempty"`
+	IdleEntriesScanned int64 `json:"idle_entries_scanned,omitempty"`
+
+	// StoreEntries is the total store population (tombstones included)
+	// across all nodes at the end of the run — the yardstick the scan
+	// counters are read against (scanned/serve ≈ mean store size would
+	// mean full scans are back). Excluded from Digest with the rest of
+	// the cost accounting.
+	StoreEntries int64 `json:"store_entries"`
 
 	// ConvergeMode records whether the convergence overhaul was enabled.
 	ConvergeMode bool `json:"converge"`
@@ -825,6 +861,39 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	res.MeanReplicasEnd = probe.meanHolders()
 	res.BystanderCopiesEnd = probe.bystanderMean()
 
+	// Idle tail: client-free rounds with only the background machinery
+	// (gossip, anti-entropy, supersession) running, reported as counter
+	// deltas. Runs after every headline metric is frozen; the fabric
+	// accounting it adds (Sent/Delivered/...) is collected below and
+	// folds into the digest, which stays deterministic — IdleTail is a
+	// config knob like any other, and zero reproduces the old trace.
+	if cfg.IdleTail > 0 {
+		var pushed0, serves0, scanned0 int64
+		for _, en := range nodes {
+			if en.Repair != nil {
+				pushed0 += en.Repair.Pushed
+			}
+			ops, scanned, _ := en.St.ServeStats()
+			serves0 += ops
+			scanned0 += scanned
+		}
+		for r := 0; r < cfg.IdleTail; r++ {
+			step(0, 0)
+		}
+		res.IdleRounds = cfg.IdleTail
+		for _, en := range nodes {
+			if en.Repair != nil {
+				res.IdleTuplesPushed += en.Repair.Pushed
+			}
+			ops, scanned, _ := en.St.ServeStats()
+			res.IdleDigestServes += ops
+			res.IdleEntriesScanned += scanned
+		}
+		res.IdleTuplesPushed -= pushed0
+		res.IdleDigestServes -= serves0
+		res.IdleEntriesScanned -= scanned0
+	}
+
 	res.Rounds = rounds
 	res.ElapsedSeconds = time.Since(start).Seconds()
 	res.Sent = net.Stats.Sent.Value()
@@ -835,6 +904,13 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	res.AliveEnd = net.Size()
 	full := node.FullArc()
 	for i, en := range nodes {
+		// Serve stats first: the digest fold below is itself an arc query
+		// and must not count toward the run's serving cost.
+		ops, scanned, folded := en.St.ServeStats()
+		res.DigestServes += ops
+		res.DigestEntriesScanned += scanned
+		res.DigestBucketsFolded += folded
+		res.StoreEntries += int64(en.St.Total())
 		res.StoreDigest ^= en.St.DigestArc(full) * (uint64(i)*2 + 1)
 		if en.Repair != nil {
 			res.SyncSegments += en.Repair.Segments.Value()

@@ -101,6 +101,15 @@ type SimScaleResult struct {
 	TuplesTotal int    `json:"tuples_total"`
 	AliveEnd    int    `json:"alive_end"`
 
+	// Digest-serve cost summed across nodes (store.ServeStats): arc-query
+	// ops triggered by the run's repair traffic, entries scanned one by
+	// one in partial index buckets, whole buckets folded. Cost accounting
+	// only — excluded from Digest so serving-strategy changes cannot
+	// invalidate committed golden digests.
+	DigestServes         int64 `json:"digest_serves"`
+	DigestEntriesScanned int64 `json:"digest_entries_scanned"`
+	DigestBucketsFolded  int64 `json:"digest_buckets_folded"`
+
 	// Per-node end state (ID order), for granular determinism checks.
 	NodeDigests []uint64 `json:"-"`
 	NodeStored  []int64  `json:"-"`
@@ -248,6 +257,12 @@ func RunSimScale(cfg SimScaleConfig) *SimScaleResult {
 	res.NodeDigests = make([]uint64, len(nodes))
 	res.NodeStored = make([]int64, len(nodes))
 	for i, en := range nodes {
+		// Serve stats first: the digest fold below is itself an arc query
+		// and must not count toward the run's serving cost.
+		ops, scanned, folded := en.St.ServeStats()
+		res.DigestServes += ops
+		res.DigestEntriesScanned += scanned
+		res.DigestBucketsFolded += folded
 		d := en.St.DigestArc(full)
 		res.NodeDigests[i] = d
 		res.NodeStored[i] = en.Stored

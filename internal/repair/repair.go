@@ -178,9 +178,16 @@ type (
 		Digest uint64
 	}
 	// SyncVersions answers a digest mismatch with key-level versions.
+	// Coverage, when non-nil, lists the responder's responsibility arcs
+	// at reply time: the receiver then skips pushing content whose point
+	// the responder does not cover (the responder would refuse it as a
+	// would-be bystander copy anyway), which is what stops partially-
+	// overlapping peers from re-shipping boundary content forever. A nil
+	// Coverage keeps the legacy push-everything semantics.
 	SyncVersions struct {
 		Arc      node.Arc
 		Versions map[string]tuple.Version
+		Coverage []node.Arc
 	}
 	// SyncPull requests full tuples for keys.
 	SyncPull struct{ Keys []string }
@@ -317,6 +324,11 @@ type Manager struct {
 	checkQueue []node.Arc
 	queued     map[node.Arc]bool
 
+	// verBuf is the reusable reconciliation buffer: reconcile re-fills
+	// it from the store each time instead of allocating a fresh
+	// key→version map per exchange.
+	verBuf []store.VersionEntry
+
 	// supersedeCursor walks the store across supersession sweeps.
 	supersedeCursor string
 	// Supersession-sweep backoff state: the next sweep fires at
@@ -345,9 +357,10 @@ type Manager struct {
 	Handoffs  int64 // orphaned tuples pushed to their current coverers
 
 	// Repair-traffic counters surfaced in ddbench scenario rows.
-	Segments   metrics.Counter // sub-range digests exchanged (segmented sync)
-	Superseded metrics.Counter // bystander copies dropped after a Held answer
-	Sweeps     metrics.Counter // supersession sweeps actually fired (backoff-visible)
+	Segments      metrics.Counter // sub-range digests exchanged (segmented sync)
+	Superseded    metrics.Counter // bystander copies dropped after a Held answer
+	Sweeps        metrics.Counter // supersession sweeps actually fired (backoff-visible)
+	CoverageSkips metrics.Counter // pushes suppressed because the peer's coverage excludes the key
 }
 
 // hotArc is one staleness-priority schedule entry.
@@ -430,6 +443,17 @@ func (m *Manager) coversAnyOf(arc node.Arc) bool {
 	}
 	for _, a := range m.adopted {
 		if a.Intersects(arc) {
+			return true
+		}
+	}
+	return false
+}
+
+// arcsContain reports whether any of the arcs contains p — the
+// receiver-side test of a SyncVersions.Coverage snapshot.
+func arcsContain(arcs []node.Arc, p node.Point) bool {
+	for _, a := range arcs {
+		if a.Contains(p) {
 			return true
 		}
 	}
@@ -919,10 +943,18 @@ func (m *Manager) Handle(now sim.Round, from node.ID, msg any) []sim.Envelope {
 		if m.st.DigestArc(msg.Arc) == msg.Digest {
 			return nil // ranges identical
 		}
-		return []sim.Envelope{{To: from, Msg: SyncVersions{
+		resp := SyncVersions{
 			Arc:      msg.Arc,
 			Versions: m.st.VersionsInArc(msg.Arc),
-		}}}
+		}
+		if m.cfg.SegBits > 0 {
+			// Convergent mode reaches this path for arcs too narrow to
+			// segment (pinpoint adoption slivers): report coverage so the
+			// requester's push side is gated like a segmented leaf reply.
+			// Legacy mode stays nil-Coverage — byte-identical behaviour.
+			resp.Coverage = m.Arcs()
+		}
+		return []sim.Envelope{{To: from, Msg: resp}}
 	case SyncVersions:
 		return m.reconcile(from, msg)
 	case SegSyncReq:
@@ -1017,40 +1049,31 @@ func (m *Manager) handleSegSync(from node.ID, msg SegSyncReq) []sim.Envelope {
 		// Too narrow to segment (defensive: syncMsg never sends these):
 		// fall back to whole-arc versions.
 		return []sim.Envelope{
-			{To: from, Msg: SyncVersions{Arc: msg.Arc, Versions: m.st.VersionsInArc(msg.Arc)}},
+			{To: from, Msg: SyncVersions{
+				Arc:      msg.Arc,
+				Versions: m.st.VersionsInArc(msg.Arc),
+				Coverage: m.Arcs(),
+			}},
 			{To: from, Msg: SegSyncResp{Arc: msg.Arc, Clean: false}},
 		}
 	}
-	// One store pass: collect the arc's population, then serve the
-	// digest vector, leaf version maps and recursion sub-vectors from
-	// the collected set — re-walking the whole store per segment would
-	// cost exactly the O(dirty segments × store) the tree exists to
-	// avoid.
-	type segEntry struct {
-		key string
-		p   node.Point
-		v   tuple.Version
-	}
-	var ents []segEntry
-	m.st.ArcRefs(msg.Arc, func(key string, p node.Point, v tuple.Version) bool {
-		ents = append(ents, segEntry{key, p, v})
-		return true
-	})
-	mine := make([]uint64, n)
-	bySeg := make([][]int32, n)
-	for idx, e := range ents {
-		i := msg.Arc.SegIndex(e.p, n)
-		mine[i] ^= store.EntryHash(e.key, e.v)
-		bySeg[i] = append(bySeg[i], int32(idx))
-	}
+	// The store's ring-bucket index serves the segment vector in
+	// O(|arc| boundary entries + buckets); only *mismatching* segments
+	// are then revisited — for leaf version maps or one-level-down
+	// digest vectors over just that segment's sub-arc. Clean segments
+	// (the common case between converged peers) cost no entry visits at
+	// all, where the pre-index handler collected the arc's whole
+	// population on every request.
+	mine, counts := m.st.SegmentDigests(msg.Arc, n)
 	var out []sim.Envelope
 	clean := true
+	var coverage []node.Arc // lazily built, shared across this reply's leaves
 	for i := 0; i < n; i++ {
 		if mine[i] == msg.Digests[i] {
 			continue // segment identical: the recursion prunes it
 		}
 		sub := msg.Arc.SubArc(i, n)
-		if len(bySeg[i]) == 0 && !m.coversAnyOf(sub) {
+		if counts[i] == 0 && !m.coversAnyOf(sub) {
 			// Foreign segment: the requester holds content in a range this
 			// node neither covers nor stores anything of. That difference
 			// is not this node's debt — exchanging it would only mint
@@ -1059,22 +1082,23 @@ func (m *Manager) handleSegSync(from node.ID, msg SegSyncReq) []sim.Envelope {
 			continue
 		}
 		clean = false
-		if len(bySeg[i]) <= m.cfg.SegLeafKeys || sub.Width < uint64(n) {
-			versions := make(map[string]tuple.Version, len(bySeg[i]))
-			for _, idx := range bySeg[i] {
-				versions[ents[idx].key] = ents[idx].v
+		if counts[i] <= m.cfg.SegLeafKeys || sub.Width < uint64(n) {
+			versions := make(map[string]tuple.Version, counts[i])
+			m.st.ArcRefs(sub, func(key string, _ node.Point, v tuple.Version) bool {
+				versions[key] = v
+				return true
+			})
+			if coverage == nil {
+				coverage = m.Arcs()
 			}
 			out = append(out, sim.Envelope{To: from, Msg: SyncVersions{
 				Arc:      sub,
 				Versions: versions,
+				Coverage: coverage,
 			}})
 			continue
 		}
-		subDigests := make([]uint64, n)
-		for _, idx := range bySeg[i] {
-			e := ents[idx]
-			subDigests[sub.SegIndex(e.p, n)] ^= store.EntryHash(e.key, e.v)
-		}
+		subDigests, _ := m.st.SegmentDigests(sub, n)
 		m.Segments.Add(int64(n))
 		out = append(out, sim.Envelope{To: from, Msg: SegSyncReq{Arc: sub, Digests: subDigests}})
 	}
@@ -1198,13 +1222,26 @@ func (m *Manager) handleSupersedeResp(from node.ID, msg SupersedeResp) []sim.Env
 }
 
 // reconcile diffs the peer's versions against local state: pull what the
-// peer has newer, push what we have newer.
+// peer has newer, push what we have newer. Local state comes from the
+// reusable sorted verBuf (AppendVersionsInArc) rather than a fresh map
+// per exchange; a non-nil msg.Coverage additionally gates the "peer
+// lacks it" pushes on the peer actually covering the key — content only
+// this side is responsible for stays home instead of being re-shipped
+// (and refused) every pass.
 func (m *Manager) reconcile(from node.ID, msg SyncVersions) []sim.Envelope {
-	mine := m.st.VersionsInArc(msg.Arc)
+	m.verBuf = m.st.AppendVersionsInArc(m.verBuf[:0], msg.Arc)
+	mine := m.verBuf
+	lookup := func(key string) (tuple.Version, bool) {
+		i := sort.Search(len(mine), func(i int) bool { return mine[i].Key >= key })
+		if i < len(mine) && mine[i].Key == key {
+			return mine[i].Version, true
+		}
+		return tuple.Version{}, false
+	}
 	var pull []string
 	var push []*tuple.Tuple
 	for key, theirs := range msg.Versions {
-		ours, ok := mine[key]
+		ours, ok := lookup(key)
 		switch {
 		case !ok || ours.Less(theirs):
 			if m.cfg.SegBits > 0 && !ok && !m.Covers(node.HashKey(key)) {
@@ -1231,11 +1268,22 @@ func (m *Manager) reconcile(from node.ID, msg SyncVersions) []sim.Envelope {
 			delete(m.hot, msg.Arc)
 		}
 	}
-	for key := range mine {
-		if _, ok := msg.Versions[key]; !ok {
-			if t, found := m.st.GetAny(key); found {
-				push = append(push, t)
-			}
+	for i := range mine {
+		kv := &mine[i]
+		if _, ok := msg.Versions[kv.Key]; ok {
+			continue
+		}
+		if msg.Coverage != nil && !arcsContain(msg.Coverage, kv.Point) {
+			// Coverage-aware reply: the peer told us it is not responsible
+			// for this point, and it holds no copy (the key is absent from
+			// its versions) — it would refuse the push as a would-be
+			// bystander copy. Boundary content only this side covers stops
+			// crossing the wire every pass.
+			m.CoverageSkips.Inc()
+			continue
+		}
+		if t, found := m.st.GetAny(kv.Key); found {
+			push = append(push, t)
 		}
 	}
 	sort.Strings(pull)

@@ -15,7 +15,9 @@
 package store
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
 
 	"datadroplets/internal/flatmap"
 	"datadroplets/internal/node"
@@ -32,6 +34,7 @@ type skipNode struct {
 	tup   *tuple.Tuple
 	next  []*skipNode
 	point node.Point // cached ring position of key
+	bslot int32      // slot in the ring-bucket index (see ringindex.go)
 }
 
 // attrStat is the incrementally maintained summary of one attribute over
@@ -76,6 +79,21 @@ type Store struct {
 	floors    *flatmap.Map[floorEntry]
 	floorRing []floorSlot // insertion order, for deterministic eviction
 	floorGen  uint64      // ties ring slots to their map entries
+
+	// idx is the ring-bucket digest index (ringindex.go): maintained
+	// incrementally by Apply/Drop so arc digests and arc iteration cost
+	// O(|arc| + buckets) instead of a full store walk.
+	idx ringIndex
+
+	// Serve-cost counters: how much work answering arc queries
+	// (DigestArc, SegmentDigests, ArcRefs and its derivatives) actually
+	// did. serveOps counts queries, serveScanned entries examined one by
+	// one in partial boundary buckets, serveFolded whole buckets
+	// composed from their precomputed digest. They survive Wipe — they
+	// are diagnostics of the serving path, not of the content.
+	serveOps     int64
+	serveScanned int64
+	serveFolded  int64
 }
 
 // floorEntry is one supersession watermark; gen identifies the ring
@@ -106,6 +124,7 @@ func New(rng *rand.Rand) *Store {
 		head:   &skipNode{next: make([]*skipNode, maxLevel)},
 		stats:  flatmap.New[*attrStat](0),
 		floors: flatmap.New[floorEntry](0),
+		idx:    newRingIndex(),
 	}
 }
 
@@ -159,7 +178,9 @@ func (s *Store) Apply(t *tuple.Tuple) bool {
 			return false // stale or duplicate
 		}
 		s.accountRemove(existing.tup)
+		oldV := existing.tup.Version
 		existing.tup = t.Clone()
+		s.idx.replace(existing.point, oldV, existing.tup.Version)
 		s.accountAdd(existing.tup)
 		s.logi++
 		s.floors.Del(t.Key) // newer content re-admitted: floor served
@@ -184,6 +205,8 @@ func (s *Store) Apply(t *tuple.Tuple) bool {
 		path[i].next[i] = n
 	}
 	s.total++
+	s.idx.add(n)
+	s.idx.maybeGrow(s.total)
 	s.accountAdd(n.tup)
 	s.logi++
 	s.floors.Del(t.Key) // newer content re-admitted: floor served
@@ -410,8 +433,26 @@ func (s *Store) Drop(key string) bool {
 		}
 	}
 	s.total--
+	s.idx.remove(n)
 	s.accountRemove(n.tup)
 	return true
+}
+
+// Wipe discards every entry, attribute statistic, and supersession
+// floor, returning the store to its freshly-created state. The level
+// RNG, capacity bound, and cumulative counters (applied writes,
+// capacity rejections, serve costs) are kept: Wipe models a node losing
+// its data, not being replaced.
+func (s *Store) Wipe() {
+	s.head = &skipNode{next: make([]*skipNode, maxLevel)}
+	s.level = 0
+	s.total = 0
+	s.live = 0
+	s.bytes = 0
+	s.stats = flatmap.New[*attrStat](0)
+	s.floors = flatmap.New[floorEntry](0)
+	s.floorRing = nil
+	s.idx = newRingIndex()
 }
 
 // Len returns the number of live (non-tombstone) tuples.
@@ -532,64 +573,107 @@ func (s *Store) ScanRef(from string, limit int, fn func(*tuple.Tuple) bool) {
 }
 
 // KeysInArc returns the keys (tombstones included) whose ring point lies
-// in the arc — the unit of responsibility sieves and repair reason about.
+// in the arc, in key order — the unit of responsibility sieves and
+// repair reason about.
 func (s *Store) KeysInArc(arc node.Arc) []string {
 	var out []string
-	for e := s.head.next[0]; e != nil; e = e.next[0] {
-		if arc.Contains(e.point) {
-			out = append(out, e.key)
-		}
-	}
+	s.ArcRefs(arc, func(key string, _ node.Point, _ tuple.Version) bool {
+		out = append(out, key)
+		return true
+	})
+	sort.Strings(out)
 	return out
 }
 
 // DigestArc summarises the (key, version) pairs inside the arc as an
 // order-independent 64-bit digest. Two replicas with equal digests hold
 // identical data for the range with overwhelming probability; unequal
-// digests trigger key-level reconciliation.
+// digests trigger key-level reconciliation. Served from the ring-bucket
+// index: whole buckets inside the arc fold in O(1), only boundary
+// buckets are scanned.
 func (s *Store) DigestArc(arc node.Arc) uint64 {
+	s.serveOps++
 	var d uint64
-	for e := s.head.next[0]; e != nil; e = e.next[0] {
-		if arc.Contains(e.point) {
-			d ^= entryHash(e.key, e.tup.Version)
+	s.idx.forArcBuckets(arc, func(b *ringBucket, _ node.Arc, whole bool) bool {
+		if whole {
+			d ^= b.digest
+			s.serveFolded++
+			return true
 		}
-	}
+		s.serveScanned += int64(len(b.ents))
+		for _, e := range b.ents {
+			if arc.Contains(e.point) {
+				d ^= entryHashPoint(e.point, e.tup.Version)
+			}
+		}
+		return true
+	})
 	return d
 }
 
 // SegmentDigests summarises the arc as n per-segment digests (the arc
 // split into n equal sub-ranges, remainder folded into the last — see
-// node.Arc.SubArc) plus the entry count per segment, in one store pass.
-// Two replicas compare segment vectors and recurse only into mismatching
-// segments, turning whole-arc reconciliation into a digest tree. The
-// caller must ensure arc.Width >= n.
+// node.Arc.SubArc) plus the entry count per segment. Two replicas
+// compare segment vectors and recurse only into mismatching segments,
+// turning whole-arc reconciliation into a digest tree. Served from the
+// ring-bucket index: a whole bucket that falls inside a single segment
+// folds in O(1); buckets straddling a segment boundary (and the arc's
+// partial boundary buckets) are scanned. Panics if arc.Width < n — a
+// narrower arc cannot be split into n non-empty segments and would
+// silently mis-bucket every entry (segment width truncates to zero).
 func (s *Store) SegmentDigests(arc node.Arc, n int) (digests []uint64, counts []int) {
+	if n < 1 || arc.Width < uint64(n) {
+		panic(fmt.Sprintf("store: SegmentDigests: arc %v narrower than %d segments", arc, n))
+	}
+	s.serveOps++
 	digests = make([]uint64, n)
 	counts = make([]int, n)
-	for e := s.head.next[0]; e != nil; e = e.next[0] {
-		if arc.Contains(e.point) {
-			i := arc.SegIndex(e.point, n)
-			digests[i] ^= entryHash(e.key, e.tup.Version)
-			counts[i]++
+	s.idx.forArcBuckets(arc, func(b *ringBucket, span node.Arc, whole bool) bool {
+		if len(b.ents) == 0 {
+			return true
 		}
-	}
+		if whole {
+			lo := arc.SegIndex(span.Start, n)
+			hi := arc.SegIndex(span.Start+node.Point(span.Width-1), n)
+			if lo == hi {
+				digests[lo] ^= b.digest
+				counts[lo] += len(b.ents)
+				s.serveFolded++
+				return true
+			}
+		}
+		s.serveScanned += int64(len(b.ents))
+		for _, e := range b.ents {
+			if whole || arc.Contains(e.point) {
+				i := arc.SegIndex(e.point, n)
+				digests[i] ^= entryHashPoint(e.point, e.tup.Version)
+				counts[i]++
+			}
+		}
+		return true
+	})
 	return digests, counts
 }
 
 // ArcRefs visits entries (tombstones included) whose ring point lies in
-// the arc, in key order, passing the key, its cached ring point and the
-// stored version — borrowed iteration in a single pass. The segmented
-// sync handler uses it to collect an arc's population once and then
-// serve every digest-tree level from the collected set instead of
-// re-walking the store per segment.
+// the arc, passing the key, its cached ring point and the stored
+// version — borrowed iteration over only the arc's index buckets. The
+// visit order is deterministic (bucket order along the arc, insertion
+// history within a bucket) but NOT key order: callers that need an
+// order sort what they collect. The callback must not mutate the store.
 func (s *Store) ArcRefs(arc node.Arc, fn func(key string, p node.Point, v tuple.Version) bool) {
-	for e := s.head.next[0]; e != nil; e = e.next[0] {
-		if arc.Contains(e.point) {
-			if !fn(e.key, e.point, e.tup.Version) {
-				return
+	s.serveOps++
+	s.idx.forArcBuckets(arc, func(b *ringBucket, _ node.Arc, whole bool) bool {
+		s.serveScanned += int64(len(b.ents))
+		for _, e := range b.ents {
+			if whole || arc.Contains(e.point) {
+				if !fn(e.key, e.point, e.tup.Version) {
+					return false
+				}
 			}
 		}
-	}
+		return true
+	})
 }
 
 // EntryHash mixes a key and version into the 64-bit value arc and
@@ -598,15 +682,47 @@ func (s *Store) ArcRefs(arc node.Arc, fn func(key string, p node.Point, v tuple.
 func EntryHash(key string, v tuple.Version) uint64 { return entryHash(key, v) }
 
 // VersionsInArc returns key -> version for the arc, the exchange unit of
-// range reconciliation.
+// range reconciliation. Allocates a fresh map per call; the repair hot
+// path uses AppendVersionsInArc instead.
 func (s *Store) VersionsInArc(arc node.Arc) map[string]tuple.Version {
 	out := make(map[string]tuple.Version)
-	for e := s.head.next[0]; e != nil; e = e.next[0] {
-		if arc.Contains(e.point) {
-			out[e.key] = e.tup.Version
-		}
-	}
+	s.ArcRefs(arc, func(key string, _ node.Point, v tuple.Version) bool {
+		out[key] = v
+		return true
+	})
 	return out
+}
+
+// VersionEntry is one (key, ring point, version) row of an arc's
+// population, as returned by AppendVersionsInArc.
+type VersionEntry struct {
+	Key     string
+	Point   node.Point
+	Version tuple.Version
+}
+
+// AppendVersionsInArc appends the arc's entries (tombstones included) to
+// dst and returns the slice sorted by key — the allocation-reusing
+// counterpart of VersionsInArc for per-round reconciliation: callers
+// pass last round's buffer truncated to dst[:0] and the append reuses
+// its capacity.
+func (s *Store) AppendVersionsInArc(dst []VersionEntry, arc node.Arc) []VersionEntry {
+	s.ArcRefs(arc, func(key string, p node.Point, v tuple.Version) bool {
+		dst = append(dst, VersionEntry{Key: key, Point: p, Version: v})
+		return true
+	})
+	sort.Slice(dst, func(i, j int) bool { return dst[i].Key < dst[j].Key })
+	return dst
+}
+
+// ServeStats reports the cumulative cost of serving arc queries: ops is
+// the number of DigestArc/SegmentDigests/ArcRefs-family calls, scanned
+// the entries examined one by one in partial buckets, folded the whole
+// buckets composed from their precomputed digest. scanned/ops far below
+// Total() is the signature of incremental serving; scanned ≈ ops ×
+// Total() would mean full store scans are back.
+func (s *Store) ServeStats() (ops, scanned, folded int64) {
+	return s.serveOps, s.serveScanned, s.serveFolded
 }
 
 // entryHash mixes key and version into one 64-bit value.

@@ -3,7 +3,10 @@
 // both report families, dispatching on the report's "benchmark" field:
 //
 //   - simscale: rows match by (nodes, workers); rounds_per_sec is
-//     compared against the threshold (percent).
+//     compared against the threshold (percent). When both reports carry
+//     a repair_cost section, the digest-serve ns/op is compared at the
+//     same threshold and the index-vs-full-scan speedup against an
+//     absolute 10x floor.
 //   - scenarios: rows match by (scenario, nodes, workers, converge);
 //     availability_any (absolute drop > 0.02), stale_keeper_copies
 //     (absolute rise > 0.02) and rounds_to_convergence (relative rise
@@ -45,14 +48,25 @@ type row struct {
 	RoundsToConverge int     `json:"rounds_to_converge"`
 }
 
+// repairCost is the repair_cost section of a simscale (or standalone
+// repaircost) report: the million-key digest-serving measurement.
+type repairCost struct {
+	Keys                     int     `json:"keys"`
+	DigestArcNsPerOp         float64 `json:"digest_arc_ns_per_op"`
+	DigestArcFullScanNsPerOp float64 `json:"digest_arc_full_scan_ns_per_op"`
+	DigestSpeedupX           float64 `json:"digest_speedup_x"`
+	EntriesScannedPerServe   float64 `json:"entries_scanned_per_serve"`
+}
+
 type report struct {
 	Benchmark string `json:"benchmark"`
 	// CPUs/GOMAXPROCS identify the measuring host's parallel capacity.
 	// Reports written before these fields existed decode them as zero,
 	// which the cross-host check treats as "unknown" (no refusal).
-	CPUs       int   `json:"cpus"`
-	GOMAXPROCS int   `json:"gomaxprocs"`
-	Results    []row `json:"results"`
+	CPUs       int         `json:"cpus"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	RepairCost *repairCost `json:"repair_cost"`
+	Results    []row       `json:"results"`
 }
 
 // scenarioKey identifies one scenario measurement configuration.
@@ -118,6 +132,9 @@ func main() {
 			return
 		}
 		compared, regressions = compareSimScale(baseline, current, *threshold)
+		rcC, rcR := compareRepairCost(baseline, current, *threshold)
+		compared += rcC
+		regressions += rcR
 	}
 	if compared == 0 {
 		fmt.Printf("benchcmp: no overlapping rows between %s and %s — nothing compared\n",
@@ -154,6 +171,39 @@ func compareSimScale(baseline, current *report, threshold float64) (compared, re
 		fmt.Printf("N=%-6d W=%-2d %10.2f rounds/sec  baseline %10.2f  %+7.1f%%  %s\n",
 			cur.Nodes, cur.Workers, cur.RoundsPerSec, ref.RoundsPerSec, change, status)
 	}
+	return compared, regressions
+}
+
+// compareRepairCost diffs the repair_cost sections when both reports
+// carry one (reports predate the section → skipped, like unmatched
+// rows). Two checks: the digest-serve ns/op against the baseline at the
+// relative threshold — only reached on same-host reports, the caller's
+// cross-host refusal already covers wall-clock numbers — and the
+// measured index-vs-full-scan speedup against an absolute floor of 10x,
+// the bar the incremental index is accountable to regardless of host.
+func compareRepairCost(baseline, current *report, threshold float64) (compared, regressions int) {
+	ref, cur := baseline.RepairCost, current.RepairCost
+	if ref == nil || cur == nil || ref.DigestArcNsPerOp <= 0 {
+		return 0, 0
+	}
+	compared++
+	change := (cur.DigestArcNsPerOp/ref.DigestArcNsPerOp - 1) * 100
+	status := "ok"
+	if change >= threshold {
+		status = "REGRESSION"
+		regressions++
+		fmt.Printf("::warning title=bench regression::repair_cost: DigestArc %.0f ns/op vs baseline %.0f (%+.1f%%)\n",
+			cur.DigestArcNsPerOp, ref.DigestArcNsPerOp, change)
+	}
+	if cur.DigestSpeedupX < 10 {
+		status = "REGRESSION"
+		regressions++
+		fmt.Printf("::warning title=bench regression::repair_cost: digest serve speedup %.1fx over full scan, floor is 10x\n",
+			cur.DigestSpeedupX)
+	}
+	fmt.Printf("repair_cost    keys=%d DigestArc %.0f ns/op  baseline %.0f  %+7.1f%%  speedup %.0fx  scanned/serve %.0f  %s\n",
+		cur.Keys, cur.DigestArcNsPerOp, ref.DigestArcNsPerOp, change,
+		cur.DigestSpeedupX, cur.EntriesScannedPerServe, status)
 	return compared, regressions
 }
 
