@@ -1,4 +1,4 @@
-// Package-level benchmarks: one per reproduced figure/table (DESIGN.md
+// Package-level benchmarks: one per reproduced figure/table (docs/DESIGN.md
 // §2). Each benchmark executes the corresponding experiment driver at a
 // reduced scale per iteration — wall time is the cost of regenerating
 // that result. Run the full-scale versions with cmd/ddbench:

@@ -1,217 +1,85 @@
-// Command datadroplets runs one live persistent-layer node over TCP,
-// plus an embedded soft-state shim (sequencer, directory, cache) serving
-// a line-oriented client protocol. Start several processes with the same
-// -peers list to form a cluster:
+// Command datadroplets runs one live DataDroplets node: both layers of
+// the paper's architecture in one process — a soft-state node
+// (sequencer, directory, cache, client op tracking) stacked on an
+// epidemic persistent node — gossiping with its peers over TCP and
+// serving the DDB1 binary client protocol (docs/PROTOCOL.md; Go client
+// in internal/ddclient). Start several processes with the same -peers
+// list to form a cluster:
 //
 //	datadroplets -id 1 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 -client :8001
 //	datadroplets -id 2 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 -client :8002
 //	datadroplets -id 3 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 -client :8003
 //
-// Client protocol (e.g. via `nc localhost 8001`):
+// Operational guidance (topology, tuning, failure behaviour, reading
+// the STATS document) is in docs/OPERATIONS.md.
 //
-//	PUT <key> <value>     -> OK <version>
-//	GET <key>             -> VALUE <value> | MISS
-//	DEL <key>             -> OK <version>
-//	NEST                  -> N <estimate>
-//	LEN                   -> LEN <local tuples>
-//
-// Demo-tool simplification recorded in DESIGN.md: each process sequences
-// the keys its clients write (versions tie-break by node ID) instead of
-// routing to a per-key soft owner; last-writer-wins convergence is
-// unaffected.
+// Demo-tool simplification recorded in docs/DESIGN.md §4: each process
+// sequences the keys its clients write (versions tie-break by node ID)
+// instead of routing to a per-key soft owner; last-writer-wins
+// convergence is unaffected.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
-	"net"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
-	"datadroplets/internal/dht"
-	"datadroplets/internal/epidemic"
-	"datadroplets/internal/membership"
 	"datadroplets/internal/node"
-	"datadroplets/internal/sim"
+	"datadroplets/internal/server"
 	"datadroplets/internal/transport"
-	"datadroplets/internal/tuple"
 )
 
 func main() {
 	var (
-		idFlag  = flag.Int("id", 1, "node ID (1-based index into -peers)")
-		peers   = flag.String("peers", "127.0.0.1:7001", "comma-separated peer addresses; position i is node i+1")
-		client  = flag.String("client", "", "client listen address (empty disables)")
-		tick    = flag.Duration("tick", 200*time.Millisecond, "gossip round interval")
-		r       = flag.Int("r", 3, "replication factor")
-		fanoutC = flag.Float64("c", 2, "fanout constant (fanout = ln N̂ + c)")
+		idFlag    = flag.Int("id", 1, "node ID (1-based index into -peers)")
+		peers     = flag.String("peers", "127.0.0.1:7001", "comma-separated gossip addresses; position i is node i+1")
+		client    = flag.String("client", "", "DDB1 client listen address (empty disables)")
+		tick      = flag.Duration("tick", 200*time.Millisecond, "gossip round interval")
+		r         = flag.Int("r", 3, "replication factor")
+		fanoutC   = flag.Float64("c", 2, "fanout constant (fanout = ln N̂ + c)")
+		opTimeout = flag.Duration("op-timeout", 3*time.Second, "per-operation server-side deadline")
+		maxConns  = flag.Int("max-conns", 4096, "client connection cap (excess answered BUSY)")
+		window    = flag.Int("window", 64, "pipelined ops in flight per connection")
+		writeAcks = flag.Int("write-acks", 1, "replica acks that complete a PUT/DEL")
 	)
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
 	peerList := make([]transport.Peer, 0, len(addrs))
-	ids := make([]node.ID, 0, len(addrs))
 	for i, a := range addrs {
-		id := node.ID(i + 1)
-		peerList = append(peerList, transport.Peer{ID: id, Addr: strings.TrimSpace(a)})
-		ids = append(ids, id)
+		peerList = append(peerList, transport.Peer{ID: node.ID(i + 1), Addr: strings.TrimSpace(a)})
 	}
 	self := node.ID(*idFlag)
-
-	rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(self)))
-	en := epidemic.New(self, rng, membership.NewUniformView(self, rng, func() []node.ID { return ids }),
-		epidemic.Config{Replication: *r, FanoutC: *fanoutC, AntiEntropyEvery: 10})
-
 	logger := log.New(os.Stderr, fmt.Sprintf("[%s] ", self), log.LstdFlags)
-	host, err := transport.NewHost(transport.Config{
-		Self: self, Peers: peerList, TickInterval: *tick, Logger: logger,
-	}, en)
+
+	srv, err := server.New(server.Config{
+		Self:         self,
+		Peers:        peerList,
+		ClientAddr:   *client,
+		TickInterval: *tick,
+		OpTimeout:    *opTimeout,
+		MaxConns:     *maxConns,
+		Window:       *window,
+		Replication:  *r,
+		FanoutC:      *fanoutC,
+		WriteAcks:    *writeAcks,
+		Logger:       logger,
+	})
 	if err != nil {
 		logger.Fatal(err)
 	}
-	if err := host.Start(); err != nil {
+	if err := srv.Start(); err != nil {
 		logger.Fatal(err)
-	}
-	defer host.Stop()
-	logger.Printf("gossip listening on %s, %d peers, r=%d c=%.1f", host.Addr(), len(ids), *r, *fanoutC)
-
-	seq := dht.NewSequencer(self)
-	dir := dht.NewDirectory(4)
-	en.OnHint = func(key string, holder node.ID, _ tuple.Version) { dir.AddHint(key, holder) }
-
-	if *client != "" {
-		ln, err := net.Listen("tcp", *client)
-		if err != nil {
-			logger.Fatal(err)
-		}
-		defer ln.Close()
-		logger.Printf("client protocol on %s", ln.Addr())
-		go serveClients(ln, host, en, seq, dir, logger)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	logger.Print("shutting down")
-}
-
-func serveClients(ln net.Listener, host *transport.Host, en *epidemic.Node,
-	seq *dht.Sequencer, dir *dht.Directory, logger *log.Logger) {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		go handleClient(conn, host, en, seq, dir)
-	}
-}
-
-func handleClient(conn net.Conn, host *transport.Host, en *epidemic.Node,
-	seq *dht.Sequencer, dir *dht.Directory) {
-	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	out := bufio.NewWriter(conn)
-	reply := func(format string, args ...any) {
-		fmt.Fprintf(out, format+"\n", args...)
-		out.Flush()
-	}
-	for sc.Scan() {
-		fields := strings.SplitN(strings.TrimSpace(sc.Text()), " ", 3)
-		if len(fields) == 0 || fields[0] == "" {
-			continue
-		}
-		switch strings.ToUpper(fields[0]) {
-		case "PUT", "DEL":
-			if len(fields) < 2 {
-				reply("ERR usage: PUT <key> <value> | DEL <key>")
-				continue
-			}
-			deleted := strings.ToUpper(fields[0]) == "DEL"
-			var value []byte
-			if !deleted {
-				if len(fields) < 3 {
-					reply("ERR usage: PUT <key> <value>")
-					continue
-				}
-				value = []byte(fields[2])
-			}
-			var version tuple.Version
-			err := host.Do(func(m sim.Machine, now sim.Round) []sim.Envelope {
-				version = seq.Next(fields[1])
-				return en.Write(now, &tuple.Tuple{
-					Key: fields[1], Value: value, Version: version, Deleted: deleted,
-				})
-			})
-			if err != nil {
-				reply("ERR %v", err)
-				continue
-			}
-			reply("OK %s", version)
-		case "GET":
-			if len(fields) < 2 {
-				reply("ERR usage: GET <key>")
-				continue
-			}
-			key := fields[1]
-			var reqID uint64
-			_ = host.Do(func(m sim.Machine, now sim.Round) []sim.Envelope {
-				var envs []sim.Envelope
-				reqID, envs = en.Lookup(key, dir.Hints(key), 6, 3)
-				return envs
-			})
-			var result *tuple.Tuple
-			deadline := time.Now().Add(3 * time.Second)
-			for time.Now().Before(deadline) {
-				var done bool
-				_ = host.Do(func(m sim.Machine, now sim.Round) []sim.Envelope {
-					if st, ok := en.Read(reqID); ok {
-						if st.Hit {
-							result, done = st.Tuple, true
-						} else if st.Replies >= 6 {
-							done = true
-						}
-					}
-					return nil
-				})
-				if done {
-					break
-				}
-				time.Sleep(50 * time.Millisecond)
-			}
-			_ = host.Do(func(m sim.Machine, now sim.Round) []sim.Envelope {
-				en.ForgetRead(reqID)
-				return nil
-			})
-			if result == nil || result.Deleted {
-				reply("MISS")
-				continue
-			}
-			seq.Observe(key, result.Version)
-			reply("VALUE %s", result.Value)
-		case "NEST":
-			var est float64
-			_ = host.Do(func(m sim.Machine, now sim.Round) []sim.Envelope {
-				est = en.NEstimate()
-				return nil
-			})
-			reply("N %.1f", est)
-		case "LEN":
-			var n int
-			_ = host.Do(func(m sim.Machine, now sim.Round) []sim.Envelope {
-				n = en.St.Len()
-				return nil
-			})
-			reply("LEN %d", n)
-		case "QUIT":
-			return
-		default:
-			reply("ERR unknown command %q", fields[0])
-		}
-	}
+	logger.Print("draining")
+	srv.Close()
 }

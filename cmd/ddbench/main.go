@@ -1,5 +1,5 @@
 // Command ddbench regenerates the paper-reproduction experiments (F1,
-// C1..C14 — see DESIGN.md §2). Each experiment prints fixed-width tables
+// C1..C14 — see docs/DESIGN.md §2). Each experiment prints fixed-width tables
 // with the rows/series the corresponding claim predicts, and optionally
 // writes CSV files.
 //
@@ -14,6 +14,7 @@
 //	ddbench -run scenarios -both                           # legacy AND converge rows
 //	ddbench -run fuzz -seeds 20 -workers 1,2,4,8           # consistency fuzzer
 //	ddbench -run repaircost -json BENCH_simscale.json      # splice repair_cost section
+//	ddbench -run serve -conns 1000 -json BENCH_serve.json  # live TCP server load test
 //	ddbench -list
 //
 // Besides the experiment IDs, -run throughput sweeps the pipelined
@@ -25,7 +26,11 @@
 // (optionally as JSON via -json), and -run fuzz sweeps seeded random
 // fault compositions under a recording client workload, checks the
 // session guarantees and convergence with the consistency oracle, and
-// exits nonzero with a one-line repro per violation.
+// exits nonzero with a one-line repro per violation. -run serve boots a
+// real multi-node server cluster over loopback TCP and load-tests it
+// closed-loop through the DDB1 client from -conns concurrent
+// connections, reporting ops/sec, per-op latency quantiles and the
+// zero-dropped-responses check (exits nonzero on any drop).
 package main
 
 import (
@@ -48,7 +53,7 @@ func main() { os.Exit(realMain()) }
 // defers installed below always run (os.Exit would skip them).
 func realMain() int {
 	var (
-		run      = flag.String("run", "all", "comma-separated experiment IDs, 'all', 'throughput', 'simscale', 'scenarios', 'fuzz', or 'repaircost'")
+		run      = flag.String("run", "all", "comma-separated experiment IDs, 'all', 'throughput', 'simscale', 'scenarios', 'fuzz', 'repaircost', or 'serve'")
 		scale    = flag.Float64("scale", 0.25, "population/trial scale (1.0 = paper scale)")
 		seed     = flag.Int64("seed", 42, "random seed")
 		csv      = flag.String("csv", "", "directory to write per-table CSV files (optional)")
@@ -59,6 +64,7 @@ func realMain() int {
 		both     = flag.Bool("both", false, "with -run scenarios, sweep each scenario in legacy AND converge mode")
 		readDist = flag.String("readdist", "", "read-workload key distribution for -run scenarios: uniform (default), zipf, hot, scan")
 		seeds    = flag.Int("seeds", 20, "number of seeded compositions for -run fuzz (seeds are -seed, -seed+1, ...)")
+		conns    = flag.String("conns", "1000", "comma-separated concurrent connection counts to sweep (with -run serve)")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the selected run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
@@ -104,6 +110,7 @@ func realMain() int {
 		fmt.Println("scenarios")
 		fmt.Println("fuzz")
 		fmt.Println("repaircost")
+		fmt.Println("serve")
 		for _, name := range experiments.ScenarioNames() {
 			fmt.Printf("scenarios -scenario %s\n", name)
 		}
@@ -125,6 +132,19 @@ func realMain() int {
 			return 2
 		}
 		if err := runSimScale(*seed, *scale, *jsonOut, ws); err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *run == "serve" {
+		cs, err := parseWorkers(*conns)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: -conns: %v\n", err)
+			return 2
+		}
+		if err := runServe(*seed, *scale, *jsonOut, cs); err != nil {
 			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
 			return 1
 		}

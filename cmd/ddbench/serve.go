@@ -1,0 +1,289 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datadroplets/internal/ddclient"
+	"datadroplets/internal/metrics"
+	"datadroplets/internal/node"
+	"datadroplets/internal/server"
+	"datadroplets/internal/transport"
+)
+
+// serveRow is one measured connection-count configuration of the live
+// server benchmark, shaped for BENCH_serve.json.
+type serveRow struct {
+	Conns      int     `json:"conns"`
+	Ops        int     `json:"ops"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+
+	// Dropped counts requests that never received a response frame —
+	// the zero-loss contract of the pipelined protocol. Anything > 0 is
+	// a bug, and benchcmp flags it regardless of host.
+	Dropped    int64 `json:"dropped"`
+	DialErrors int64 `json:"dial_errors"`
+	Timeouts   int64 `json:"timeouts"`
+	Busy       int64 `json:"busy"`
+	Errors     int64 `json:"errors"`
+	Misses     int64 `json:"misses"`
+
+	PutP50Ms float64 `json:"put_p50_ms"`
+	PutP99Ms float64 `json:"put_p99_ms"`
+	GetP50Ms float64 `json:"get_p50_ms"`
+	GetP99Ms float64 `json:"get_p99_ms"`
+
+	// ShutdownMs is how long the graceful drain of the whole cluster
+	// took after the workload finished.
+	ShutdownMs float64 `json:"shutdown_ms"`
+}
+
+type serveReport struct {
+	Benchmark string `json:"benchmark"`
+	Seed      int64  `json:"seed"`
+	// Host/CPUs/GOMAXPROCS identify the measuring host; benchcmp refuses
+	// ops/sec comparisons across differing hosts.
+	Host       string `json:"host"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Nodes        int     `json:"nodes"`
+	Replication  int     `json:"replication"`
+	TickMs       float64 `json:"tick_ms"`
+	ReadFraction float64 `json:"read_fraction"`
+	PerConnOps   int     `json:"per_conn_ops"`
+
+	Results []serveRow `json:"results"`
+}
+
+// reserveAddrs picks free loopback addresses by binding and closing.
+func reserveAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		_ = ln.Close()
+	}
+	return addrs, nil
+}
+
+// runServe boots an in-process multi-node cluster over loopback TCP and
+// drives it closed-loop through the real DDB1 client from `conns`
+// concurrent connections per configuration. Every request must receive
+// a response — dropped > 0 fails the run.
+func runServe(seed int64, scale float64, jsonPath string, connsList []int) error {
+	const (
+		nodes        = 3
+		replication  = 3
+		tick         = 20 * time.Millisecond
+		readFraction = 0.5
+	)
+	perConn := int(100 * scale)
+	if perConn < 10 {
+		perConn = 10
+	}
+
+	report := serveReport{
+		Benchmark:    "serve",
+		Seed:         seed,
+		Host:         fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d", runtime.GOMAXPROCS(0), runtime.NumCPU()),
+		CPUs:         runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Nodes:        nodes,
+		Replication:  replication,
+		TickMs:       float64(tick) / float64(time.Millisecond),
+		ReadFraction: readFraction,
+		PerConnOps:   perConn,
+	}
+
+	fmt.Printf("serve: %d-node loopback cluster, %d ops/conn (%.0f%% reads), seed %d\n",
+		nodes, perConn, readFraction*100, seed)
+	fmt.Printf("%8s %10s %10s %10s %8s %9s %9s %9s %9s %11s\n",
+		"conns", "ops", "ops/sec", "dropped", "timeout", "putp50ms", "putp99ms", "getp50ms", "getp99ms", "shutdownms")
+
+	failed := false
+	for _, conns := range connsList {
+		row, err := serveTrial(seed, conns, perConn, nodes, replication, tick, readFraction)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, row)
+		fmt.Printf("%8d %10d %10.0f %10d %8d %9.2f %9.2f %9.2f %9.2f %11.0f\n",
+			row.Conns, row.Ops, row.OpsPerSec, row.Dropped, row.Timeouts,
+			row.PutP50Ms, row.PutP99Ms, row.GetP50Ms, row.GetP99Ms, row.ShutdownMs)
+		if row.Dropped > 0 || row.DialErrors > 0 {
+			failed = true
+		}
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if failed {
+		return errors.New("serve: dropped responses or failed dials — the zero-loss contract is broken")
+	}
+	return nil
+}
+
+// serveTrial runs one connection-count configuration against a freshly
+// booted cluster and tears it down gracefully.
+func serveTrial(seed int64, conns, perConn, nodes, replication int, tick time.Duration, readFraction float64) (serveRow, error) {
+	gossip, err := reserveAddrs(nodes)
+	if err != nil {
+		return serveRow{}, err
+	}
+	peers := make([]transport.Peer, nodes)
+	for i := range peers {
+		peers[i] = transport.Peer{ID: node.ID(i + 1), Addr: gossip[i]}
+	}
+	servers := make([]*server.Server, nodes)
+	for i := range servers {
+		srv, err := server.New(server.Config{
+			Self:         node.ID(i + 1),
+			Peers:        peers,
+			ClientAddr:   "127.0.0.1:0",
+			TickInterval: tick,
+			OpTimeout:    5 * time.Second,
+			MaxConns:     conns + 64,
+			Replication:  replication,
+			Seed:         seed + int64(i+1),
+		})
+		if err != nil {
+			return serveRow{}, err
+		}
+		if err := srv.Start(); err != nil {
+			return serveRow{}, err
+		}
+		servers[i] = srv
+	}
+
+	// Ramp: dial every connection before releasing the workload, so the
+	// measured window really holds `conns` concurrent connections.
+	clients := make([]*ddclient.Client, conns)
+	var dialErrors int64
+	for i := range clients {
+		c, err := ddclient.Dial(servers[i%nodes].ClientAddr(), ddclient.Options{Window: 8})
+		if err != nil {
+			dialErrors++
+			continue
+		}
+		clients[i] = c
+	}
+
+	keys := make([]string, conns*perConn/2+1)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("serve:%06d", i)
+	}
+
+	var (
+		putLat   = metrics.NewDist(conns * perConn / 2)
+		getLat   = metrics.NewDist(conns * perConn / 2)
+		dropped  atomic.Int64
+		timeouts atomic.Int64
+		busy     atomic.Int64
+		errs     atomic.Int64
+		misses   atomic.Int64
+		done     atomic.Int64
+	)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		if c == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, c *ddclient.Client) {
+			defer wg.Done()
+			defer c.Close()
+			rng := rand.New(rand.NewSource(seed ^ int64(i)*2654435761))
+			<-start
+			for j := 0; j < perConn; j++ {
+				key := keys[rng.Intn(len(keys))]
+				opStart := time.Now()
+				var err error
+				read := rng.Float64() < readFraction
+				if read {
+					_, err = c.Get(key)
+				} else {
+					_, err = c.Put(key, []byte("serve-bench-value"))
+				}
+				lat := time.Since(opStart)
+				switch {
+				case err == nil:
+					// fallthrough to latency recording
+				case errors.Is(err, ddclient.ErrNotFound):
+					misses.Add(1)
+				case errors.Is(err, ddclient.ErrTimeout):
+					timeouts.Add(1)
+				case errors.Is(err, ddclient.ErrBusy):
+					busy.Add(1)
+				default:
+					var srvErr *ddclient.ServerError
+					if errors.As(err, &srvErr) {
+						errs.Add(1)
+					} else {
+						// Transport failure: no response frame for this
+						// request — a dropped response.
+						dropped.Add(1)
+						return
+					}
+				}
+				if read {
+					getLat.Observe(lat.Seconds() * 1000)
+				} else {
+					putLat.Observe(lat.Seconds() * 1000)
+				}
+				done.Add(1)
+			}
+		}(i, c)
+	}
+
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+
+	shutdownStart := time.Now()
+	for _, srv := range servers {
+		srv.Close()
+	}
+	shutdownMs := float64(time.Since(shutdownStart)) / float64(time.Millisecond)
+
+	row := serveRow{
+		Conns:      conns,
+		Ops:        int(done.Load()),
+		ElapsedSec: elapsed,
+		OpsPerSec:  float64(done.Load()) / elapsed,
+		Dropped:    dropped.Load(),
+		DialErrors: dialErrors,
+		Timeouts:   timeouts.Load(),
+		Busy:       busy.Load(),
+		Errors:     errs.Load(),
+		Misses:     misses.Load(),
+		PutP50Ms:   putLat.Quantile(0.50),
+		PutP99Ms:   putLat.Quantile(0.99),
+		GetP50Ms:   getLat.Quantile(0.50),
+		GetP99Ms:   getLat.Quantile(0.99),
+		ShutdownMs: shutdownMs,
+	}
+	return row, nil
+}

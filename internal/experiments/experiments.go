@@ -1,5 +1,5 @@
 // Package experiments regenerates every figure/table of the reproduction
-// (F1 plus C1–C14, defined in DESIGN.md §2). Each driver is pure Go over
+// (F1 plus C1–C14, defined in docs/DESIGN.md §2). Each driver is pure Go over
 // the simulator substrate and returns text/CSV tables; cmd/ddbench and
 // the repository-root benchmarks are thin wrappers around this package.
 //

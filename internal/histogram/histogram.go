@@ -12,7 +12,7 @@
 // from which each node builds its local copy of the global equi-depth
 // histogram. (The paper cites Adam2 [26] and gossip-based distribution
 // estimation [27]; KMV sketch exchange achieves the same estimate with a
-// simpler duplicate-insensitivity argument, which DESIGN.md records as a
+// simpler duplicate-insensitivity argument, which docs/DESIGN.md §3 records as a
 // substitution.)
 package histogram
 

@@ -8,6 +8,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -31,6 +32,89 @@ func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Histogram is a concurrency-safe latency histogram with logarithmic
+// buckets: observation i lands in bucket floor(log2(i)), so relative
+// resolution is a constant factor of 2 across the whole nanosecond-to-
+// minutes range while memory stays at 64 counters. The live server
+// records every client operation here from many connection goroutines;
+// unlike Dist it never stores samples, so a long-running process cannot
+// grow it. Quantiles are upper bounds of the bucket the rank falls in —
+// exact enough for p50/p99 reporting, and monotone by construction.
+type Histogram struct {
+	// bucket i counts values v with bits.Len64(v) == i; non-negative
+	// int64 samples never set the top bit, so 64 buckets suffice.
+	buckets [64]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one non-negative sample (typically nanoseconds).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
+// top of the bucket containing the nearest-rank sample. Returns 0 when
+// empty. Concurrent Observes may shift the answer by at most one bucket.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			return (1 << i) - 1 // largest value with bits.Len64 == i
+		}
+	}
+	return (1 << 63) - 1
+}
+
+// Snapshot returns the non-empty buckets as (upper bound, count) pairs
+// in ascending order — the JSON-friendly view the metrics endpoint
+// serves.
+func (h *Histogram) Snapshot() []HistBucket {
+	var out []HistBucket
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c > 0 {
+			hi := int64((uint64(1) << i) - 1)
+			out = append(out, HistBucket{UpTo: hi, Count: c})
+		}
+	}
+	return out
+}
+
+// HistBucket is one Snapshot entry: Count observations ≤ UpTo.
+type HistBucket struct {
+	UpTo  int64 `json:"up_to"`
+	Count int64 `json:"count"`
+}
 
 // Dist collects float64 observations and answers exact order statistics.
 // It keeps all samples; experiment scales (≤ millions of points) make this

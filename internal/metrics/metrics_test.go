@@ -112,3 +112,89 @@ func TestFormatFloat(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zero")
+	}
+	// 1000 samples spread over decades: quantile answers must be upper
+	// bounds within a factor of 2 of the exact answer.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(int64(i) * 1000) // 1µs .. 1ms in ns
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	exact := int64(500 * 1000)
+	got := h.Quantile(0.5)
+	if got < exact || got >= exact*2 {
+		t.Fatalf("p50 = %d, want in [%d, %d)", got, exact, exact*2)
+	}
+	exact = 990 * 1000
+	got = h.Quantile(0.99)
+	if got < exact || got >= exact*2 {
+		t.Fatalf("p99 = %d, want in [%d, %d)", got, exact, exact*2)
+	}
+	if h.Quantile(1) < h.Quantile(0) {
+		t.Fatal("quantiles not monotone")
+	}
+	mean := h.Mean()
+	if mean < 500000 || mean > 501001 {
+		t.Fatalf("mean = %f", mean)
+	}
+}
+
+func TestHistogramNegativeAndZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	h.Observe(0)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(1); q != 0 {
+		t.Fatalf("all-zero quantile = %d", q)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(1 << 20)
+	snap := h.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].UpTo != 1 || snap[0].Count != 2 {
+		t.Fatalf("first bucket = %+v", snap[0])
+	}
+	if snap[1].Count != 1 || snap[1].UpTo < 1<<20 {
+		t.Fatalf("second bucket = %+v", snap[1])
+	}
+	var total int64
+	for _, b := range snap {
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Fatalf("snapshot total %d != count %d", total, h.Count())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}

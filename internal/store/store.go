@@ -5,7 +5,7 @@
 // Concurrency: a Store is confined to its owning node machine (simulator
 // rounds or the live node's event loop); it is not safe for concurrent
 // use and does not lock. This mirrors the protocol-as-state-machine
-// convention described in DESIGN.md.
+// convention described in docs/DESIGN.md §1.
 //
 // Write semantics are last-writer-wins on tuple.Version. The soft-state
 // layer orders writes, so version comparison makes epidemic re-delivery

@@ -20,6 +20,7 @@ import (
 	"datadroplets/internal/epidemic"
 	"datadroplets/internal/gossip"
 	"datadroplets/internal/histogram"
+	"datadroplets/internal/metrics"
 	"datadroplets/internal/node"
 	"datadroplets/internal/randomwalk"
 	"datadroplets/internal/repair"
@@ -63,6 +64,10 @@ func RegisterMessages() {
 		gob.Register(repair.SyncPull{})
 		gob.Register(repair.SyncPush{})
 		gob.Register(repair.AdoptReq{})
+		gob.Register(repair.SegSyncReq{})
+		gob.Register(repair.SegSyncResp{})
+		gob.Register(repair.SupersedeQuery{})
+		gob.Register(repair.SupersedeResp{})
 		gob.Register(tman.Exchange{})
 		gob.Register(aggregate.Mass{})
 		gob.Register(&tuple.Tuple{})
@@ -93,6 +98,13 @@ type Config struct {
 	TickInterval time.Duration
 	// Logger receives connection diagnostics; nil silences them.
 	Logger *log.Logger
+	// AfterStep, when set, runs inside the driver goroutine after every
+	// dispatched event (Start, each Tick, each Handle, each Do request),
+	// with the machine quiescent. It is the one safe place outside Do to
+	// read machine state per event — the live server uses it to collect
+	// completed client operations the event just resolved. Any envelopes
+	// it returns are sent like machine output.
+	AfterStep func(now sim.Round) []sim.Envelope
 }
 
 // Host runs one protocol machine over TCP.
@@ -114,9 +126,10 @@ type Host struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
-	// Sent and Dropped count outbound envelopes.
-	Sent    int64
-	Dropped int64
+	// Sent and Dropped count outbound envelopes. Atomic: the driver
+	// goroutine increments them while metrics endpoints read them.
+	Sent    metrics.Counter
+	Dropped metrics.Counter
 }
 
 type outConn struct {
@@ -153,6 +166,10 @@ func NewHost(cfg Config, m sim.Machine) (*Host, error) {
 		done:     make(chan struct{}),
 	}, nil
 }
+
+// QueueDepth reports the number of received envelopes waiting in the
+// mailbox for the driver goroutine — the host's inbound backlog gauge.
+func (h *Host) QueueDepth() int { return len(h.mailbox) }
 
 // Addr returns the bound listen address (useful with ":0" configs).
 func (h *Host) Addr() string {
@@ -260,6 +277,7 @@ func (h *Host) driverLoop() {
 	ticker := time.NewTicker(h.cfg.TickInterval)
 	defer ticker.Stop()
 	h.send(h.machine.Start(h.round))
+	h.afterStep()
 	for {
 		select {
 		case <-h.done:
@@ -272,6 +290,14 @@ func (h *Host) driverLoop() {
 		case f := <-h.requests:
 			h.send(f(h.machine, h.round))
 		}
+		h.afterStep()
+	}
+}
+
+// afterStep runs the configured post-event hook in the driver goroutine.
+func (h *Host) afterStep() {
+	if h.cfg.AfterStep != nil {
+		h.send(h.cfg.AfterStep(h.round))
 	}
 }
 
@@ -283,24 +309,24 @@ func (h *Host) send(envs []sim.Envelope) {
 			select {
 			case h.mailbox <- envelope{From: h.cfg.Self, Msg: e.Msg}:
 			default:
-				h.Dropped++
+				h.Dropped.Inc()
 			}
 			continue
 		}
 		oc, err := h.conn(e.To)
 		if err != nil {
-			h.Dropped++
+			h.Dropped.Inc()
 			continue
 		}
 		oc.mu.Lock()
 		err = oc.enc.Encode(envelope{From: h.cfg.Self, Msg: e.Msg})
 		oc.mu.Unlock()
 		if err != nil {
-			h.Dropped++
+			h.Dropped.Inc()
 			h.dropConn(e.To, oc)
 			continue
 		}
-		h.Sent++
+		h.Sent.Inc()
 	}
 }
 

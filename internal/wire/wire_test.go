@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"datadroplets/internal/tuple"
+)
+
+// encodeReq renders one request frame to bytes; it panics on encode
+// errors so it can seed the fuzzer as well as the tests.
+func encodeReq(req *Request) []byte {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := EncodeRequest(w, req); err != nil {
+		panic(err)
+	}
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Op: OpPut, Key: "user:1", Value: []byte("alice")},
+		{Op: OpPut, Key: "k", Value: []byte{}},
+		{Op: OpGet, Key: "user:1"},
+		{Op: OpDel, Key: strings.Repeat("k", MaxKeyLen)},
+		{Op: OpNEst},
+		{Op: OpLen},
+		{Op: OpStats},
+		{Op: OpPing},
+		{Op: OpPut, Key: "big", Value: bytes.Repeat([]byte{0xAB}, MaxValueLen)},
+		{Op: OpPut, Key: "binary\x00key", Value: []byte{0, 1, 2, 255}},
+	}
+	for _, want := range cases {
+		raw := encodeReq(&want)
+		var got Request
+		if err := DecodeRequest(bufio.NewReader(bytes.NewReader(raw)), &got); err != nil {
+			t.Fatalf("%s: DecodeRequest: %v", want.Op, err)
+		}
+		if got.Op != want.Op || got.Key != want.Key || !bytes.Equal(got.Value, want.Value) {
+			t.Fatalf("%s: round trip mismatch: got %+v", want.Op, got)
+		}
+	}
+}
+
+func TestRequestStreamKeepsFraming(t *testing.T) {
+	// Several frames back to back — including an unknown opcode — must
+	// decode one by one with no bleed between frames.
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	frames := []Request{
+		{Op: OpPut, Key: "a", Value: []byte("1")},
+		{Op: Op(200), Key: "mystery", Value: []byte("payload")}, // unknown op
+		{Op: OpGet, Key: "a"},
+	}
+	for i := range frames {
+		if err := EncodeRequest(w, &frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = w.Flush()
+	r := bufio.NewReader(&buf)
+	for i, want := range frames {
+		var got Request
+		if err := DecodeRequest(r, &got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Op != want.Op || got.Key != want.Key {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if err := DecodeRequest(r, &Request{}); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+	if !frames[1].Op.Valid() {
+		// And the unknown opcode is flagged as such for the caller.
+		t.Log("unknown opcode correctly invalid")
+	} else {
+		t.Fatal("Op(200) reported valid")
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{Status: StatusOK, Payload: AppendVersion(nil, tuple.Version{Seq: 42, Writer: 3})},
+		{Status: StatusValue, Payload: []byte("hello")},
+		{Status: StatusNotFound},
+		{Status: StatusErr, Payload: []byte("usage: PUT key value")},
+		{Status: StatusTimeout},
+		{Status: StatusBusy},
+	}
+	for _, want := range cases {
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if err := EncodeResponse(w, &want); err != nil {
+			t.Fatal(err)
+		}
+		_ = w.Flush()
+		var got Response
+		if err := DecodeResponse(bufio.NewReader(&buf), &got); err != nil {
+			t.Fatalf("%s: %v", want.Status, err)
+		}
+		if got.Status != want.Status || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("%s: round trip mismatch: got %+v", want.Status, got)
+		}
+	}
+}
+
+func TestDecodeRequestMalformed(t *testing.T) {
+	huge := encodeReq(&Request{Op: OpPut, Key: "k", Value: []byte("v")})
+	// Corrupt the value length to exceed MaxValueLen.
+	hugeVal := append([]byte(nil), huge...)
+	hugeVal[3], hugeVal[4], hugeVal[5], hugeVal[6] = 0xFF, 0xFF, 0xFF, 0xFF
+	// Corrupt the key length to exceed MaxKeyLen.
+	hugeKey := append([]byte(nil), huge...)
+	hugeKey[1], hugeKey[2] = 0xFF, 0xFF
+
+	cases := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"empty", nil, io.EOF},
+		{"header cut", huge[:3], io.ErrUnexpectedEOF},
+		{"key cut", huge[:reqHeaderLen], io.ErrUnexpectedEOF},
+		{"value cut", huge[:len(huge)-1], io.ErrUnexpectedEOF},
+		{"value length bomb", hugeVal, ErrValueTooLong},
+		{"key length bomb", hugeKey, ErrKeyTooLong},
+	}
+	for _, tc := range cases {
+		var req Request
+		err := DecodeRequest(bufio.NewReader(bytes.NewReader(tc.raw)), &req)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeResponseLengthBomb(t *testing.T) {
+	raw := []byte{byte(StatusOK), 0xFF, 0xFF, 0xFF, 0xFF}
+	var resp Response
+	if err := DecodeResponse(bufio.NewReader(bytes.NewReader(raw)), &resp); !errors.Is(err, ErrPayloadTooLong) {
+		t.Fatalf("err = %v, want ErrPayloadTooLong", err)
+	}
+}
+
+func TestEncodeRequestRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := EncodeRequest(w, &Request{Op: OpPut, Key: strings.Repeat("k", MaxKeyLen+1)}); !errors.Is(err, ErrKeyTooLong) {
+		t.Fatalf("long key: err = %v", err)
+	}
+	if err := EncodeRequest(w, &Request{Op: OpPut, Key: "k", Value: make([]byte, MaxValueLen+1)}); !errors.Is(err, ErrValueTooLong) {
+		t.Fatalf("long value: err = %v", err)
+	}
+}
+
+func TestMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMagic(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadMagic(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadMagic(strings.NewReader("HTTP/1.1 GET /")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	if err := ReadMagic(strings.NewReader("DD")); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("short magic: err = %v", err)
+	}
+}
+
+func TestPayloadHelpers(t *testing.T) {
+	v := tuple.Version{Seq: 7, Writer: 2}
+	got, err := ParseVersion(AppendVersion(nil, v))
+	if err != nil || got != v {
+		t.Fatalf("version: got %v, %v", got, err)
+	}
+	if _, err := ParseVersion([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short version payload accepted")
+	}
+	f, err := ParseFloat64(AppendFloat64(nil, 1234.5))
+	if err != nil || f != 1234.5 {
+		t.Fatalf("float: got %v, %v", f, err)
+	}
+	u, err := ParseUint64(AppendUint64(nil, 99))
+	if err != nil || u != 99 {
+		t.Fatalf("uint: got %v, %v", u, err)
+	}
+}
+
+// FuzzDecodeRequest feeds arbitrary bytes through the request decoder:
+// it must never panic or over-allocate, and anything it accepts must
+// re-encode to bytes that decode to the same request (the codec is its
+// own inverse on its accepted set).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(encodeReq(&Request{Op: OpPut, Key: "user:1", Value: []byte("alice")}))
+	f.Add(encodeReq(&Request{Op: OpGet, Key: "user:1"}))
+	f.Add(encodeReq(&Request{Op: OpPing}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		err := DecodeRequest(bufio.NewReader(bytes.NewReader(data)), &req)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if err := EncodeRequest(w, &req); err != nil {
+			t.Fatalf("decoded request failed to re-encode: %v", err)
+		}
+		_ = w.Flush()
+		var again Request
+		if err := DecodeRequest(bufio.NewReader(&buf), &again); err != nil {
+			t.Fatalf("re-encoded request failed to decode: %v", err)
+		}
+		if again.Op != req.Op || again.Key != req.Key || !bytes.Equal(again.Value, req.Value) {
+			t.Fatalf("round trip diverged: %+v vs %+v", req, again)
+		}
+	})
+}

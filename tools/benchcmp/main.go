@@ -12,6 +12,10 @@
 //     (absolute rise > 0.02) and rounds_to_convergence (relative rise
 //     beyond the threshold) are compared — the dependability envelope
 //     rather than throughput.
+//   - serve: rows match by conns; ops_per_sec is compared against the
+//     threshold (same-host reports only, like simscale), and dropped
+//     responses > 0 are a regression on any host — the pipelined
+//     protocol's zero-loss contract is not hardware-dependent.
 //
 // Rows without a counterpart in the baseline are skipped (the committed
 // baselines mix full-scale and CI-scale measurements — only the
@@ -46,6 +50,10 @@ type row struct {
 	AvailAny         float64 `json:"availability_any"`
 	StaleKeepers     float64 `json:"stale_keeper_copies"`
 	RoundsToConverge int     `json:"rounds_to_converge"`
+
+	Conns     int     `json:"conns"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Dropped   int64   `json:"dropped"`
 }
 
 // repairCost is the repair_cost section of a simscale (or standalone
@@ -113,19 +121,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	// sameHost gates wall-clock comparisons (ops/sec, rounds/sec): a
+	// number measured on one core and one measured on four differ for
+	// hardware reasons, not code reasons. Zero CPUs means "unknown"
+	// (pre-field reports) and does not refuse.
+	sameHost := !(baseline.CPUs > 0 && current.CPUs > 0 &&
+		(baseline.CPUs != current.CPUs || baseline.GOMAXPROCS != current.GOMAXPROCS))
+
 	var compared, regressions int
-	if current.Benchmark == "scenarios" {
+	switch current.Benchmark {
+	case "scenarios":
 		compared, regressions = compareScenarios(baseline, current, *threshold)
-	} else {
-		// rounds/sec is only meaningful between runs on hosts with the
-		// same parallel capacity: a W=4 row measured on one core and one
-		// measured on four cores differ for hardware reasons, not code
-		// reasons. Refuse the diff (warn, exit 0) instead of annotating
-		// phantom regressions or improvements. Scenario metrics
-		// (availability, staleness, convergence rounds) are round-counted,
-		// not wall-clocked, so they stay comparable across hosts.
-		if baseline.CPUs > 0 && current.CPUs > 0 &&
-			(baseline.CPUs != current.CPUs || baseline.GOMAXPROCS != current.GOMAXPROCS) {
+	case "serve":
+		if !sameHost {
+			fmt.Printf("::warning title=cross-host bench::refusing ops/sec comparison: baseline host cpus=%d gomaxprocs=%d, current host cpus=%d gomaxprocs=%d\n",
+				baseline.CPUs, baseline.GOMAXPROCS, current.CPUs, current.GOMAXPROCS)
+		}
+		compared, regressions = compareServe(baseline, current, *threshold, sameHost)
+	default:
+		// Refuse the wall-clock diff entirely for cross-host simscale
+		// reports instead of annotating phantom regressions or
+		// improvements. Scenario metrics (availability, staleness,
+		// convergence rounds) are round-counted, not wall-clocked, so
+		// they stay comparable across hosts.
+		if !sameHost {
 			fmt.Printf("::warning title=cross-host bench::refusing rounds/sec comparison: baseline host cpus=%d gomaxprocs=%d, current host cpus=%d gomaxprocs=%d\n",
 				baseline.CPUs, baseline.GOMAXPROCS, current.CPUs, current.GOMAXPROCS)
 			fmt.Println("benchcmp: cross-host simscale reports — rounds/sec not compared (re-measure the baseline on this host to compare)")
@@ -204,6 +223,43 @@ func compareRepairCost(baseline, current *report, threshold float64) (compared, 
 	fmt.Printf("repair_cost    keys=%d DigestArc %.0f ns/op  baseline %.0f  %+7.1f%%  speedup %.0fx  scanned/serve %.0f  %s\n",
 		cur.Keys, cur.DigestArcNsPerOp, ref.DigestArcNsPerOp, change,
 		cur.DigestSpeedupX, cur.EntriesScannedPerServe, status)
+	return compared, regressions
+}
+
+// compareServe diffs serve rows by connection count. ops/sec is only
+// compared between same-host reports; the dropped-responses check is
+// count-based and applies on any host.
+func compareServe(baseline, current *report, threshold float64, compareSpeed bool) (compared, regressions int) {
+	base := make(map[int]row, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Conns] = r
+	}
+	for _, cur := range current.Results {
+		ref, ok := base[cur.Conns]
+		if !ok {
+			continue
+		}
+		compared++
+		status := "ok"
+		if cur.Dropped > 0 {
+			status = "REGRESSION"
+			regressions++
+			fmt.Printf("::warning title=bench regression::serve conns=%d: %d dropped responses (zero-loss contract)\n",
+				cur.Conns, cur.Dropped)
+		}
+		change := 0.0
+		if compareSpeed && ref.OpsPerSec > 0 {
+			change = (cur.OpsPerSec/ref.OpsPerSec - 1) * 100
+			if change <= -threshold {
+				status = "REGRESSION"
+				regressions++
+				fmt.Printf("::warning title=bench regression::serve conns=%d: %.0f ops/sec vs baseline %.0f (%.1f%%)\n",
+					cur.Conns, cur.OpsPerSec, ref.OpsPerSec, change)
+			}
+		}
+		fmt.Printf("conns=%-6d %10.0f ops/sec  baseline %10.0f  %+7.1f%%  dropped %d  %s\n",
+			cur.Conns, cur.OpsPerSec, ref.OpsPerSec, change, cur.Dropped, status)
+	}
 	return compared, regressions
 }
 
