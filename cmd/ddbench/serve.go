@@ -37,10 +37,19 @@ type serveRow struct {
 	Errors     int64 `json:"errors"`
 	Misses     int64 `json:"misses"`
 
-	PutP50Ms float64 `json:"put_p50_ms"`
-	PutP99Ms float64 `json:"put_p99_ms"`
-	GetP50Ms float64 `json:"get_p50_ms"`
-	GetP99Ms float64 `json:"get_p99_ms"`
+	// Per-op-kind timeout breakdown: Timeouts = PutTimeouts +
+	// GetTimeouts. Reads and writes take different server paths (a read
+	// can be answered from the local store; a write waits on replica
+	// acks), so a regression usually shows up on one side first.
+	PutTimeouts int64 `json:"put_timeouts"`
+	GetTimeouts int64 `json:"get_timeouts"`
+
+	PutP50Ms  float64 `json:"put_p50_ms"`
+	PutP99Ms  float64 `json:"put_p99_ms"`
+	PutP999Ms float64 `json:"put_p999_ms"`
+	GetP50Ms  float64 `json:"get_p50_ms"`
+	GetP99Ms  float64 `json:"get_p99_ms"`
+	GetP999Ms float64 `json:"get_p999_ms"`
 
 	// ShutdownMs is how long the graceful drain of the whole cluster
 	// took after the workload finished.
@@ -110,19 +119,29 @@ func runServe(seed int64, scale float64, jsonPath string, connsList []int) error
 
 	fmt.Printf("serve: %d-node loopback cluster, %d ops/conn (%.0f%% reads), seed %d\n",
 		nodes, perConn, readFraction*100, seed)
-	fmt.Printf("%8s %10s %10s %10s %8s %9s %9s %9s %9s %11s\n",
-		"conns", "ops", "ops/sec", "dropped", "timeout", "putp50ms", "putp99ms", "getp50ms", "getp99ms", "shutdownms")
+	fmt.Printf("%8s %10s %10s %10s %8s %9s %9s %10s %9s %9s %10s %11s\n",
+		"conns", "ops", "ops/sec", "dropped", "timeout", "putp50ms", "putp99ms", "putp999ms", "getp50ms", "getp99ms", "getp999ms", "shutdownms")
 
 	failed := false
-	for _, conns := range connsList {
+	for i, conns := range connsList {
+		if i > 0 {
+			// Trial isolation: without this, garbage from the previous
+			// trial's cluster inflates the GC pacer's target for the next
+			// one, and the later (usually bigger) configurations measure
+			// the earlier trials' heap instead of their own.
+			runtime.GC()
+		}
 		row, err := serveTrial(seed, conns, perConn, nodes, replication, tick, readFraction)
 		if err != nil {
 			return err
 		}
 		report.Results = append(report.Results, row)
-		fmt.Printf("%8d %10d %10.0f %10d %8d %9.2f %9.2f %9.2f %9.2f %11.0f\n",
+		fmt.Printf("%8d %10d %10.0f %10d %8d %9.2f %9.2f %10.2f %9.2f %9.2f %10.2f %11.0f\n",
 			row.Conns, row.Ops, row.OpsPerSec, row.Dropped, row.Timeouts,
-			row.PutP50Ms, row.PutP99Ms, row.GetP50Ms, row.GetP99Ms, row.ShutdownMs)
+			row.PutP50Ms, row.PutP99Ms, row.PutP999Ms, row.GetP50Ms, row.GetP99Ms, row.GetP999Ms, row.ShutdownMs)
+		if row.Timeouts > 0 {
+			fmt.Printf("%8s timeouts: put=%d get=%d\n", "", row.PutTimeouts, row.GetTimeouts)
+		}
 		if row.Dropped > 0 || row.DialErrors > 0 {
 			failed = true
 		}
@@ -195,14 +214,15 @@ func serveTrial(seed int64, conns, perConn, nodes, replication int, tick time.Du
 	}
 
 	var (
-		putLat   = metrics.NewDist(conns * perConn / 2)
-		getLat   = metrics.NewDist(conns * perConn / 2)
-		dropped  atomic.Int64
-		timeouts atomic.Int64
-		busy     atomic.Int64
-		errs     atomic.Int64
-		misses   atomic.Int64
-		done     atomic.Int64
+		putLat      = metrics.NewDist(conns * perConn / 2)
+		getLat      = metrics.NewDist(conns * perConn / 2)
+		dropped     atomic.Int64
+		putTimeouts atomic.Int64
+		getTimeouts atomic.Int64
+		busy        atomic.Int64
+		errs        atomic.Int64
+		misses      atomic.Int64
+		done        atomic.Int64
 	)
 	start := make(chan struct{})
 	var wg sync.WaitGroup
@@ -233,7 +253,11 @@ func serveTrial(seed int64, conns, perConn, nodes, replication int, tick time.Du
 				case errors.Is(err, ddclient.ErrNotFound):
 					misses.Add(1)
 				case errors.Is(err, ddclient.ErrTimeout):
-					timeouts.Add(1)
+					if read {
+						getTimeouts.Add(1)
+					} else {
+						putTimeouts.Add(1)
+					}
 				case errors.Is(err, ddclient.ErrBusy):
 					busy.Add(1)
 				default:
@@ -269,21 +293,25 @@ func serveTrial(seed int64, conns, perConn, nodes, replication int, tick time.Du
 	shutdownMs := float64(time.Since(shutdownStart)) / float64(time.Millisecond)
 
 	row := serveRow{
-		Conns:      conns,
-		Ops:        int(done.Load()),
-		ElapsedSec: elapsed,
-		OpsPerSec:  float64(done.Load()) / elapsed,
-		Dropped:    dropped.Load(),
-		DialErrors: dialErrors,
-		Timeouts:   timeouts.Load(),
-		Busy:       busy.Load(),
-		Errors:     errs.Load(),
-		Misses:     misses.Load(),
-		PutP50Ms:   putLat.Quantile(0.50),
-		PutP99Ms:   putLat.Quantile(0.99),
-		GetP50Ms:   getLat.Quantile(0.50),
-		GetP99Ms:   getLat.Quantile(0.99),
-		ShutdownMs: shutdownMs,
+		Conns:       conns,
+		Ops:         int(done.Load()),
+		ElapsedSec:  elapsed,
+		OpsPerSec:   float64(done.Load()) / elapsed,
+		Dropped:     dropped.Load(),
+		DialErrors:  dialErrors,
+		Timeouts:    putTimeouts.Load() + getTimeouts.Load(),
+		Busy:        busy.Load(),
+		Errors:      errs.Load(),
+		Misses:      misses.Load(),
+		PutTimeouts: putTimeouts.Load(),
+		GetTimeouts: getTimeouts.Load(),
+		PutP50Ms:    putLat.Quantile(0.50),
+		PutP99Ms:    putLat.Quantile(0.99),
+		PutP999Ms:   putLat.Quantile(0.999),
+		GetP50Ms:    getLat.Quantile(0.50),
+		GetP99Ms:    getLat.Quantile(0.99),
+		GetP999Ms:   getLat.Quantile(0.999),
+		ShutdownMs:  shutdownMs,
 	}
 	return row, nil
 }

@@ -145,9 +145,20 @@ type SoftNode struct {
 	// entry dies when all replies are in or its deadline passes.
 	lateRepairs map[uint64]*lateRepair
 
+	// LocalRead, when set, lets Get answer from a collocated persistent
+	// replica without a fabric round trip: when the replica already
+	// holds the exact version the sequencer knows as latest, a fabric
+	// read would version-exact complete on this node's own response
+	// anyway, so the hop is pure queueing delay. The live server wires
+	// this to its in-process store; the simulation leaves it nil (soft
+	// and persistent nodes are distinct populations there).
+	LocalRead func(key string) (*tuple.Tuple, bool)
+
 	// CacheHits / PersistentReads count the C13 comparison.
 	CacheHits       int64
 	PersistentReads int64
+	// LocalReads counts Gets served by the LocalRead fast path.
+	LocalReads int64
 	// ReadRepairs counts winning tuples pushed to stale read responders
 	// (SoftConfig.ReadRepair).
 	ReadRepairs metrics.Counter
@@ -329,6 +340,19 @@ func (s *SoftNode) Get(now sim.Round, key string) (uint64, []sim.Envelope) {
 			s.CacheHits++
 			s.complete(op)
 			return op.ID, nil
+		}
+		// Version-exact local replica: the same completion rule the
+		// fabric read would apply, minus the round trip. Only an exact
+		// match short-circuits — an older local copy still reads through
+		// the fabric, which also read-repairs it.
+		if s.LocalRead != nil {
+			if t, ok := s.LocalRead(key); ok && t.Version == latest {
+				s.LocalReads++
+				op.Tuple = t
+				op.version = latest
+				s.finishGet(now, op)
+				return op.ID, nil
+			}
 		}
 	}
 	s.PersistentReads++

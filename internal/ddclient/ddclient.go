@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"datadroplets/internal/tuple"
@@ -61,6 +62,10 @@ type Client struct {
 	conn net.Conn
 	wmu  sync.Mutex // guards w and write-side of pending
 	w    *bufio.Writer
+	// waiters counts goroutines queued on wmu. A writer that sees
+	// others waiting skips its flush — the last one out flushes, so a
+	// burst of concurrent requests coalesces into one syscall.
+	waiters atomic.Int32
 
 	pending chan *Future // FIFO of unanswered requests; cap = window
 
@@ -201,10 +206,13 @@ func (c *Client) drainPending() {
 
 // Do writes one request and returns its Future. It blocks while the
 // pipeline window is full. Concurrent callers are serialised on the
-// write lock, which also fixes the request/response order.
+// write lock, which also fixes the request/response order; their
+// flushes coalesce (only the last waiter flushes).
 func (c *Client) Do(req *wire.Request) (*Future, error) {
 	f := &Future{c: c, done: make(chan struct{})}
+	c.waiters.Add(1)
 	c.wmu.Lock()
+	c.waiters.Add(-1)
 	select {
 	case <-c.closed:
 		c.wmu.Unlock()
@@ -213,15 +221,26 @@ func (c *Client) Do(req *wire.Request) (*Future, error) {
 	}
 	// Enqueue before writing: the reader must know about the request by
 	// the time its response can arrive. The channel cap enforces the
-	// window; blocking here is the client-side backpressure.
+	// window; blocking here is the client-side backpressure. Before
+	// blocking, flush whatever earlier writers delegated to us — their
+	// responses are what free the window.
 	select {
 	case c.pending <- f:
-	case <-c.closed:
-		c.wmu.Unlock()
-		return nil, c.fatalErr()
+	default:
+		if err := c.w.Flush(); err != nil {
+			c.wmu.Unlock()
+			c.fail(fmt.Errorf("ddclient: write: %w", err))
+			return nil, c.fatalErr()
+		}
+		select {
+		case c.pending <- f:
+		case <-c.closed:
+			c.wmu.Unlock()
+			return nil, c.fatalErr()
+		}
 	}
 	err := wire.EncodeRequest(c.w, req)
-	if err == nil {
+	if err == nil && c.waiters.Load() == 0 {
 		err = c.w.Flush()
 	}
 	c.wmu.Unlock()

@@ -194,13 +194,14 @@ func (d *Disseminator) Handle(now sim.Round, from node.ID, msg any) []sim.Envelo
 	case RumorMsg:
 		return d.receive(now, m.Rumor)
 	case DigestReq:
-		has := make(map[uint64]bool, len(m.IDs))
-		for _, id := range m.IDs {
-			has[id] = true
-		}
+		// IDs arrive ascending (the sender sorts for deterministic wire
+		// content), so membership is a binary search — no per-request
+		// map. A malformed unsorted digest only costs redundant rumor
+		// resends; receive is idempotent.
 		var missing []Rumor
 		for id, r := range d.cache {
-			if !has[id] {
+			i := sort.Search(len(m.IDs), func(i int) bool { return m.IDs[i] >= id })
+			if i >= len(m.IDs) || m.IDs[i] != id {
 				missing = append(missing, r)
 			}
 		}

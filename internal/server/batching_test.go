@@ -1,0 +1,95 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// runBatchingWorkload drives one deterministic same-node workload (puts,
+// read-your-writes gets, deletes, miss checks) and returns each op's
+// outcome as a string. Same-node ops are sequenced by one server, so the
+// outcomes must not depend on fabric batching or writer asynchrony.
+func runBatchingWorkload(t *testing.T, tweak func(i int, cfg *Config)) []string {
+	t.Helper()
+	servers := startCluster(t, 3, tweak)
+	c := dial(t, servers[0])
+	var out []string
+	const n = 40
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("batch:%03d", i)
+		ver, err := c.Put(key, []byte(fmt.Sprintf("value-%03d", i)))
+		if err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+		out = append(out, fmt.Sprintf("put %s -> seq=%d writer=%s", key, ver.Seq, ver.Writer))
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("batch:%03d", i)
+		val, err := c.Get(key)
+		if err != nil {
+			t.Fatalf("get %s: %v", key, err)
+		}
+		out = append(out, fmt.Sprintf("get %s -> %s", key, val))
+	}
+	for i := 0; i < n; i += 2 {
+		key := fmt.Sprintf("batch:%03d", i)
+		ver, err := c.Del(key)
+		if err != nil {
+			t.Fatalf("del %s: %v", key, err)
+		}
+		out = append(out, fmt.Sprintf("del %s -> seq=%d", key, ver.Seq))
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("batch:%03d", i)
+		val, err := c.Get(key)
+		switch {
+		case i%2 == 0:
+			if err == nil {
+				t.Fatalf("get %s after del: value %q", key, val)
+			}
+			out = append(out, fmt.Sprintf("get %s -> miss", key))
+		default:
+			if err != nil {
+				t.Fatalf("get %s: %v", key, err)
+			}
+			out = append(out, fmt.Sprintf("get %s -> %s", key, val))
+		}
+	}
+	return out
+}
+
+// TestBatchingEquivalence proves the event-driven fabric is a pure
+// performance change: serve results are identical with intake batch
+// size 1 versus the default N, and with the per-peer writers async
+// versus forced synchronous (BlockingSend).
+func TestBatchingEquivalence(t *testing.T) {
+	configs := []struct {
+		name  string
+		tweak func(i int, cfg *Config)
+	}{
+		{"batchN-async", nil}, // the production defaults
+		{"batch1-blocking", func(_ int, cfg *Config) {
+			cfg.IntakeBatch = 1 // per-event harvesting, as before this PR
+			cfg.BlockingSend = true
+		}},
+		{"batch1-async", func(_ int, cfg *Config) { cfg.IntakeBatch = 1 }},
+	}
+	var want []string
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runBatchingWorkload(t, tc.tweak)
+			if want == nil {
+				want = got
+				return
+			}
+			if len(got) != len(want) {
+				t.Fatalf("op count %d, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("op %d diverges:\n got: %s\nwant: %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}

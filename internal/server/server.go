@@ -45,6 +45,18 @@ type Config struct {
 	// full the server stops reading the connection, which backpressures
 	// the client through TCP. Zero means 64.
 	Window int
+	// PeerQueueDepth bounds each peer's outbound fabric queue (envelopes
+	// to a stalled peer shed once it fills). Zero means the transport
+	// default (4096).
+	PeerQueueDepth int
+	// IntakeBatch caps how many fabric events the driver dispatches per
+	// wake-up before harvesting completed client ops. Zero means the
+	// transport default (256); 1 restores per-event harvesting.
+	IntakeBatch int
+	// BlockingSend forces the fabric's per-peer writers synchronous — a
+	// test knob (the batching-equivalence test proves serve results
+	// don't depend on writer asynchrony). Leave false in production.
+	BlockingSend bool
 	// Replication, FanoutC and AntiEntropyEvery tune the epidemic layer
 	// (defaults 3, 2, 10).
 	Replication      int
@@ -166,6 +178,10 @@ func New(cfg Config) (*Server, error) {
 	})
 	soft := core.NewSoftNode(cfg.Self, rng, &entrySampler{self: cfg.Self, inner: view},
 		core.SoftConfig{WriteAcks: cfg.WriteAcks})
+	// Both layers live in this process, so the soft layer can serve
+	// version-exact reads straight from the collocated replica instead
+	// of round-tripping the fabric (driver-confined, like syncSeq).
+	soft.LocalRead = en.St.Get
 	s := &Server{
 		cfg:        cfg,
 		soft:       soft,
@@ -179,11 +195,14 @@ func New(cfg Config) (*Server, error) {
 		s.opRounds = 1
 	}
 	host, err := transport.NewHost(transport.Config{
-		Self:         cfg.Self,
-		Peers:        cfg.Peers,
-		TickInterval: cfg.TickInterval,
-		Logger:       cfg.Logger,
-		AfterStep:    s.afterStep,
+		Self:           cfg.Self,
+		Peers:          cfg.Peers,
+		TickInterval:   cfg.TickInterval,
+		PeerQueueDepth: cfg.PeerQueueDepth,
+		IntakeBatch:    cfg.IntakeBatch,
+		BlockingSend:   cfg.BlockingSend,
+		Logger:         cfg.Logger,
+		AfterStep:      s.afterStep,
 	}, newMachine(soft, en))
 	if err != nil {
 		return nil, err
@@ -270,6 +289,15 @@ func (s *Server) Close() {
 		}
 		s.mu.Unlock()
 		s.host.Stop()
+		// Stop ran every stranded submit closure, so pendingOps is
+		// final: anything still registered lost its deadline ticks.
+		// Settle those slots BUSY so no response pipeline hangs.
+		for id, sl := range s.pendingOps {
+			delete(s.pendingOps, id)
+			s.inflight.Add(-1)
+			s.Met.Busy.Inc()
+			sl.settle(wire.StatusBusy, nil)
+		}
 		s.logf("node %s: stopped", s.cfg.Self)
 	})
 }
@@ -477,12 +505,15 @@ func (s *Server) syncSeq(key string) {
 	}
 }
 
-// submit runs a soft-layer op starter on the driver, arms its deadline
-// and registers its slot. Ops that resolve during submission (cache
-// hits, validation failures) settle immediately.
+// submit posts a soft-layer op starter to the driver, which arms its
+// deadline and registers its slot; the connection goroutine does not
+// wait (the response pipeline settles the slot later), so one slow op
+// never serialises a connection's intake. Ops that resolve during
+// submission (cache hits, validation failures) settle inside the
+// posted closure.
 func (s *Server) submit(sl *slot, start func(now sim.Round) (uint64, []sim.Envelope)) {
 	s.inflight.Add(1)
-	err := s.host.Do(func(_ sim.Machine, now sim.Round) []sim.Envelope {
+	err := s.host.Post(func(_ sim.Machine, now sim.Round) []sim.Envelope {
 		opID, envs := start(now)
 		op, ok := s.soft.Op(opID)
 		if !ok {
@@ -581,6 +612,9 @@ type Stats struct {
 	MailboxDepth  int   `json:"mailbox_depth"`
 	FabricSent    int64 `json:"fabric_sent"`
 	FabricDropped int64 `json:"fabric_dropped"`
+	// FabricUnknownTags counts inbound frames skipped under the
+	// mixed-version rule (docs/PROTOCOL.md, "Inter-node framing").
+	FabricUnknownTags int64 `json:"fabric_unknown_tags"`
 
 	Put  LatencySummary `json:"put_latency_ns"`
 	Get  LatencySummary `json:"get_latency_ns"`
@@ -618,10 +652,13 @@ func (s *Server) StatsSnapshot() (Stats, error) {
 		MailboxDepth:  s.host.QueueDepth(),
 		FabricSent:    s.host.Sent.Value(),
 		FabricDropped: s.host.Dropped.Value(),
-		Put:           summarize(&s.Met.PutLatency),
-		Get:           summarize(&s.Met.GetLatency),
-		Del:           summarize(&s.Met.DelLatency),
-		Meta:          summarize(&s.Met.MetaLatency),
+
+		FabricUnknownTags: s.host.UnknownTags.Value(),
+
+		Put:  summarize(&s.Met.PutLatency),
+		Get:  summarize(&s.Met.GetLatency),
+		Del:  summarize(&s.Met.DelLatency),
+		Meta: summarize(&s.Met.MetaLatency),
 	}
 	err := s.host.Do(func(_ sim.Machine, _ sim.Round) []sim.Envelope {
 		st.Pending = len(s.pendingOps)

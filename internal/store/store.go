@@ -144,12 +144,25 @@ func (s *Store) randomLevel() int {
 }
 
 // find returns the node with the key, or nil, filling path with the
-// rightmost node before key at every level.
+// rightmost node before key at every level. stop remembers the node
+// whose key is already known to be >= key: descending levels keep
+// running into the node that ended the level above, and a pointer
+// compare is much cheaper than re-comparing its key.
 func (s *Store) find(key string, path *[maxLevel]*skipNode) *skipNode {
 	x := s.head
+	var stop *skipNode
 	for i := s.level - 1; i >= 0; i-- {
-		for x.next[i] != nil && x.next[i].key < key {
-			x = x.next[i]
+		for {
+			nxt := x.next[i]
+			if nxt == nil || nxt == stop {
+				break
+			}
+			if nxt.key < key {
+				x = nxt
+				continue
+			}
+			stop = nxt
+			break
 		}
 		if path != nil {
 			path[i] = x

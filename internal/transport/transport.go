@@ -1,13 +1,30 @@
 // Package transport drives the same protocol state machines the
 // simulator drives, but over real TCP between processes: one goroutine
 // owns the machine (serialising Tick/Handle exactly like a simulator
-// round), a listener feeds received envelopes into its mailbox, and an
-// outbound connection cache delivers envelopes best-effort — message
-// loss on broken connections is exactly the fault model the epidemic
-// protocols are built to absorb.
+// round), a listener feeds received envelopes into its mailbox, and
+// per-peer writer goroutines deliver outbound envelopes best-effort —
+// message loss on broken connections or saturated peer queues is
+// exactly the fault model the epidemic protocols are built to absorb.
+//
+// The hot path is event-driven and never blocks the driver on the
+// network:
+//
+//   - The driver appends outbound envelopes to bounded per-peer queues;
+//     a dedicated writer goroutine per peer owns dialing, encoding
+//     (the DDN1 binary codec in codec.go, gob only as a fallback) and
+//     flushing through a bufio writer — flushed on queue drain, not per
+//     envelope, so one syscall carries a burst.
+//   - Self-addressed envelopes go to a driver-owned slice, never the
+//     mailbox: self-delivery is loss-free and allocation-cheap, exactly
+//     like the simulator, and it is the per-client-op fast path (write
+//     commands and read probes both start as self-sends).
+//   - The driver drains its mailbox and request queue in bounded
+//     batches per wake-up and runs AfterStep once per batch, amortising
+//     completion harvesting across concurrent client operations.
 package transport
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -17,6 +34,7 @@ import (
 	"time"
 
 	"datadroplets/internal/aggregate"
+	"datadroplets/internal/core"
 	"datadroplets/internal/epidemic"
 	"datadroplets/internal/gossip"
 	"datadroplets/internal/histogram"
@@ -28,12 +46,33 @@ import (
 	"datadroplets/internal/sizeest"
 	"datadroplets/internal/tman"
 	"datadroplets/internal/tuple"
+	"datadroplets/internal/wire"
 )
 
-// RegisterMessages registers every protocol message with gob. Call once
-// before creating hosts (safe to call multiple times only in separate
-// processes; gob panics on duplicate registration within one process, so
-// guard with the package-level once).
+// Tuning defaults. Overridable per host through Config.
+const (
+	defaultTickInterval = 200 * time.Millisecond
+	defaultPeerQueue    = 4096
+	defaultIntakeBatch  = 256
+	defaultWriteTimeout = 5 * time.Second
+
+	mailboxDepth  = 4096
+	requestsDepth = 1024
+
+	dialTimeout   = 2 * time.Second
+	redialBackoff = 500 * time.Millisecond
+
+	// connBufSize sizes the per-connection bufio reader/writer.
+	connBufSize = 32 << 10
+)
+
+// ErrStopped is returned by Do/Post after the host shut down.
+var ErrStopped = errors.New("transport: host stopped")
+
+// RegisterMessages registers every protocol message with gob. The DDN1
+// codec carries these types in binary; gob registration still matters
+// for the tag-0 fallback frame (unlisted payload types) and for the
+// differential codec tests. Safe to call multiple times in one process.
 var registerOnce sync.Once
 
 // RegisterMessages makes all wire types known to gob.
@@ -70,11 +109,12 @@ func RegisterMessages() {
 		gob.Register(repair.SupersedeResp{})
 		gob.Register(tman.Exchange{})
 		gob.Register(aggregate.Mass{})
+		gob.Register(core.WriteCmd{})
 		gob.Register(&tuple.Tuple{})
 	})
 }
 
-// envelope is the wire frame.
+// envelope is one delivered message with its sender.
 type envelope struct {
 	From node.ID
 	Msg  any
@@ -96,14 +136,33 @@ type Config struct {
 	// TickInterval is the wall-clock length of one protocol round.
 	// Zero means 200ms.
 	TickInterval time.Duration
+	// PeerQueueDepth bounds each peer's outbound queue. When a peer
+	// stalls (dead, partitioned, or not reading), its queue fills and
+	// further envelopes to it are dropped — load-shedding per peer, the
+	// driver never blocks. Zero means 4096.
+	PeerQueueDepth int
+	// IntakeBatch caps how many mailbox/request events the driver
+	// dispatches per wake-up before harvesting completions (AfterStep).
+	// Zero means 256; 1 restores per-event harvesting.
+	IntakeBatch int
+	// WriteTimeout bounds one batch write to a peer socket; past it the
+	// connection is dropped and re-dialed. Zero means 5s.
+	WriteTimeout time.Duration
+	// BlockingSend makes send() wait until the peer writers have
+	// drained every envelope the call enqueued — the legacy
+	// driver-synchronous behaviour through the same code path. A test
+	// knob (the batching-equivalence test runs writers "off"); leave it
+	// false in production.
+	BlockingSend bool
 	// Logger receives connection diagnostics; nil silences them.
 	Logger *log.Logger
 	// AfterStep, when set, runs inside the driver goroutine after every
-	// dispatched event (Start, each Tick, each Handle, each Do request),
-	// with the machine quiescent. It is the one safe place outside Do to
-	// read machine state per event — the live server uses it to collect
-	// completed client operations the event just resolved. Any envelopes
-	// it returns are sent like machine output.
+	// dispatched event batch (Start, then once per wake-up covering the
+	// ticks, deliveries and Do/Post requests the batch dispatched),
+	// with the machine quiescent. It is the one safe place outside Do
+	// to read machine state — the live server uses it to collect
+	// completed client operations the batch resolved. Any envelopes it
+	// returns are sent like machine output.
 	AfterStep func(now sim.Round) []sim.Envelope
 }
 
@@ -116,8 +175,17 @@ type Host struct {
 	mailbox  chan envelope
 	requests chan func(m sim.Machine, now sim.Round) []sim.Envelope
 
+	// selfQ holds self-addressed envelopes awaiting dispatch. Owned by
+	// the driver goroutine (and by Stop after the driver exits): self
+	// delivery is loss-free by construction, unlike the old
+	// mailbox-with-overflow-drop scheme.
+	selfQ []envelope
+
+	// senders is built once at Start (static peer set) and read-only
+	// after; one writer goroutine per remote peer.
+	senders map[node.ID]*peerSender
+
 	mu      sync.Mutex
-	conns   map[node.ID]*outConn
 	inbound map[net.Conn]struct{}
 	addrs   map[node.ID]string
 
@@ -126,22 +194,28 @@ type Host struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
-	// Sent and Dropped count outbound envelopes. Atomic: the driver
-	// goroutine increments them while metrics endpoints read them.
-	Sent    metrics.Counter
-	Dropped metrics.Counter
-}
-
-type outConn struct {
-	c   net.Conn
-	enc *gob.Encoder
-	mu  sync.Mutex
+	// Sent and Dropped count outbound envelopes; UnknownTags counts
+	// inbound frames skipped for carrying a tag this build doesn't
+	// know. Atomic: writer goroutines increment them while metrics
+	// endpoints read them.
+	Sent        metrics.Counter
+	Dropped     metrics.Counter
+	UnknownTags metrics.Counter
 }
 
 // NewHost wraps a machine. Call Start to begin serving.
 func NewHost(cfg Config, m sim.Machine) (*Host, error) {
 	if cfg.TickInterval <= 0 {
-		cfg.TickInterval = 200 * time.Millisecond
+		cfg.TickInterval = defaultTickInterval
+	}
+	if cfg.PeerQueueDepth <= 0 {
+		cfg.PeerQueueDepth = defaultPeerQueue
+	}
+	if cfg.IntakeBatch <= 0 {
+		cfg.IntakeBatch = defaultIntakeBatch
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = defaultWriteTimeout
 	}
 	addrs := make(map[node.ID]string, len(cfg.Peers))
 	var selfAddr string
@@ -158,9 +232,9 @@ func NewHost(cfg Config, m sim.Machine) (*Host, error) {
 	return &Host{
 		cfg:      cfg,
 		machine:  m,
-		mailbox:  make(chan envelope, 1024),
-		requests: make(chan func(sim.Machine, sim.Round) []sim.Envelope),
-		conns:    make(map[node.ID]*outConn),
+		mailbox:  make(chan envelope, mailboxDepth),
+		requests: make(chan func(sim.Machine, sim.Round) []sim.Envelope, requestsDepth),
+		senders:  make(map[node.ID]*peerSender, len(cfg.Peers)),
 		inbound:  make(map[net.Conn]struct{}),
 		addrs:    addrs,
 		done:     make(chan struct{}),
@@ -171,6 +245,18 @@ func NewHost(cfg Config, m sim.Machine) (*Host, error) {
 // mailbox for the driver goroutine — the host's inbound backlog gauge.
 func (h *Host) QueueDepth() int { return len(h.mailbox) }
 
+// PeerBacklog reports the number of envelopes queued for one peer's
+// writer (0 for unknown peers and self).
+func (h *Host) PeerBacklog(id node.ID) int {
+	ps := h.senders[id]
+	if ps == nil {
+		return 0
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return len(ps.queue)
+}
+
 // Addr returns the bound listen address (useful with ":0" configs).
 func (h *Host) Addr() string {
 	if h.listener == nil {
@@ -179,13 +265,23 @@ func (h *Host) Addr() string {
 	return h.listener.Addr().String()
 }
 
-// Start binds the listener and launches the accept and driver loops.
+// Start binds the listener and launches the accept, driver and per-peer
+// writer loops.
 func (h *Host) Start() error {
 	ln, err := net.Listen("tcp", h.addrs[h.cfg.Self])
 	if err != nil {
 		return fmt.Errorf("transport: listen: %w", err)
 	}
 	h.listener = ln
+	for _, p := range h.cfg.Peers {
+		if p.ID == h.cfg.Self {
+			continue
+		}
+		ps := newPeerSender(h, p.ID, p.Addr)
+		h.senders[p.ID] = ps
+		h.wg.Add(1)
+		go ps.writeLoop()
+	}
 	h.wg.Add(2)
 	go h.acceptLoop()
 	go h.driverLoop()
@@ -193,21 +289,35 @@ func (h *Host) Start() error {
 }
 
 // Stop shuts the host down and waits for its goroutines. Idempotent.
+// Requests accepted by Do/Post but not yet dispatched still run (with
+// the machine quiescent, envelopes discarded), so no caller is left
+// waiting on a closure that never executed.
 func (h *Host) Stop() {
 	h.stopOnce.Do(func() {
 		close(h.done)
 		if h.listener != nil {
 			_ = h.listener.Close()
 		}
-		h.mu.Lock()
-		for _, oc := range h.conns {
-			_ = oc.c.Close()
+		for _, ps := range h.senders {
+			ps.stop()
 		}
+		h.mu.Lock()
 		for c := range h.inbound {
 			_ = c.Close()
 		}
 		h.mu.Unlock()
 		h.wg.Wait()
+		// The driver is gone; this goroutine is now the machine's sole
+		// owner. Run stranded requests so their side effects (op
+		// registration, ack channels) still happen.
+		for {
+			select {
+			case f := <-h.requests:
+				f(h.machine, h.round)
+			default:
+				return
+			}
+		}
 	})
 }
 
@@ -225,7 +335,25 @@ func (h *Host) Do(f func(m sim.Machine, now sim.Round) []sim.Envelope) error {
 		<-ack
 		return nil
 	case <-h.done:
-		return errors.New("transport: host stopped")
+		return ErrStopped
+	}
+}
+
+// Post enqueues f to run inside the driver goroutine without waiting
+// for it — the asynchronous sibling of Do. The requests channel is
+// buffered, so at steady state Post is one channel send; it only blocks
+// when the driver is more than a full buffer behind.
+func (h *Host) Post(f func(m sim.Machine, now sim.Round) []sim.Envelope) error {
+	select {
+	case <-h.done:
+		return ErrStopped
+	default:
+	}
+	select {
+	case h.requests <- f:
+		return nil
+	case <-h.done:
+		return ErrStopped
 	}
 }
 
@@ -247,6 +375,11 @@ func (h *Host) acceptLoop() {
 	}
 }
 
+// readLoop consumes one inbound DDN1 connection: preamble (magic +
+// sender ID, once), then length-delimited frames. Unknown message tags
+// skip the frame and keep the connection — the mixed-version rule; a
+// malformed body inside a known tag is a codec violation and drops the
+// connection.
 func (h *Host) readLoop(c net.Conn) {
 	defer h.wg.Done()
 	h.mu.Lock()
@@ -258,116 +391,345 @@ func (h *Host) readLoop(c net.Conn) {
 		h.mu.Unlock()
 		_ = c.Close()
 	}()
-	dec := gob.NewDecoder(c)
+	br := bufio.NewReaderSize(c, connBufSize)
+	from, err := wire.ReadNodePreamble(br)
+	if err != nil {
+		return
+	}
+	var buf []byte
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
+		body, err := wire.ReadNodeFrame(br, buf)
+		if err != nil {
 			return // peer closed or garbage: epidemic protocols tolerate loss
 		}
+		buf = body[:0]
+		msg, err := decodeMessage(body)
+		if err != nil {
+			if errors.Is(err, errUnknownTag) {
+				h.UnknownTags.Inc()
+				continue
+			}
+			h.logf("read from %v: %v", from, err)
+			return
+		}
 		select {
-		case h.mailbox <- env:
+		case h.mailbox <- envelope{From: node.ID(from), Msg: msg}:
 		case <-h.done:
 			return
 		}
 	}
 }
 
+// driverLoop is the machine's single owner. Each wake-up dispatches one
+// blocking event plus a bounded non-blocking drain of further
+// mailbox/request events, delivers any self-sends those produced, then
+// harvests completions (AfterStep) once for the whole batch.
 func (h *Host) driverLoop() {
 	defer h.wg.Done()
 	ticker := time.NewTicker(h.cfg.TickInterval)
 	defer ticker.Stop()
 	h.send(h.machine.Start(h.round))
+	h.deliverSelf()
 	h.afterStep()
 	for {
-		select {
-		case <-h.done:
-			return
-		case <-ticker.C:
-			h.round++
-			h.send(h.machine.Tick(h.round))
-		case env := <-h.mailbox:
-			h.send(h.machine.Handle(h.round, env.From, env.Msg))
-		case f := <-h.requests:
-			h.send(f(h.machine, h.round))
+		if len(h.selfQ) == 0 {
+			select {
+			case <-h.done:
+				return
+			case <-ticker.C:
+				h.round++
+				h.send(h.machine.Tick(h.round))
+			case env := <-h.mailbox:
+				h.send(h.machine.Handle(h.round, env.From, env.Msg))
+			case f := <-h.requests:
+				h.send(f(h.machine, h.round))
+			}
+		} else {
+			// Self work pending (AfterStep produced it): poll for other
+			// events but do not block.
+			select {
+			case <-h.done:
+				return
+			case <-ticker.C:
+				h.round++
+				h.send(h.machine.Tick(h.round))
+			case env := <-h.mailbox:
+				h.send(h.machine.Handle(h.round, env.From, env.Msg))
+			case f := <-h.requests:
+				h.send(f(h.machine, h.round))
+			default:
+			}
 		}
+		for n := 1; n < h.cfg.IntakeBatch; n++ {
+			select {
+			case env := <-h.mailbox:
+				h.send(h.machine.Handle(h.round, env.From, env.Msg))
+				continue
+			case f := <-h.requests:
+				h.send(f(h.machine, h.round))
+				continue
+			default:
+			}
+			break
+		}
+		h.deliverSelf()
 		h.afterStep()
 	}
 }
 
-// afterStep runs the configured post-event hook in the driver goroutine.
+// deliverSelf dispatches queued self-envelopes until quiescent,
+// including ones the dispatched handlers themselves produce — same-round
+// self delivery, exactly like the simulator. Driver-only.
+func (h *Host) deliverSelf() {
+	for i := 0; i < len(h.selfQ); i++ {
+		env := h.selfQ[i]
+		h.selfQ[i] = envelope{}
+		h.send(h.machine.Handle(h.round, env.From, env.Msg))
+	}
+	h.selfQ = h.selfQ[:0]
+}
+
+// afterStep runs the configured post-batch hook in the driver goroutine.
 func (h *Host) afterStep() {
 	if h.cfg.AfterStep != nil {
 		h.send(h.cfg.AfterStep(h.round))
 	}
 }
 
-// send delivers envelopes best-effort; failures drop the message and the
-// connection (it will be re-dialed on the next send).
+// send routes envelopes: self-sends to the driver-owned queue
+// (loss-free), remote sends to the peer's bounded writer queue
+// (drop-new when full — per-peer load shedding, the driver never blocks
+// on a socket).
 func (h *Host) send(envs []sim.Envelope) {
 	for _, e := range envs {
 		if e.To == h.cfg.Self {
-			select {
-			case h.mailbox <- envelope{From: h.cfg.Self, Msg: e.Msg}:
-			default:
-				h.Dropped.Inc()
+			h.selfQ = append(h.selfQ, envelope{From: h.cfg.Self, Msg: e.Msg})
+			continue
+		}
+		ps := h.senders[e.To]
+		if ps == nil {
+			h.Dropped.Inc()
+			continue
+		}
+		if !ps.enqueue(e.Msg) {
+			h.Dropped.Inc()
+		}
+	}
+	if h.cfg.BlockingSend {
+		for _, e := range envs {
+			if ps := h.senders[e.To]; ps != nil {
+				ps.waitDrain()
 			}
-			continue
 		}
-		oc, err := h.conn(e.To)
-		if err != nil {
-			h.Dropped.Inc()
-			continue
-		}
-		oc.mu.Lock()
-		err = oc.enc.Encode(envelope{From: h.cfg.Self, Msg: e.Msg})
-		oc.mu.Unlock()
-		if err != nil {
-			h.Dropped.Inc()
-			h.dropConn(e.To, oc)
-			continue
-		}
-		h.Sent.Inc()
 	}
-}
-
-func (h *Host) conn(to node.ID) (*outConn, error) {
-	h.mu.Lock()
-	if oc, ok := h.conns[to]; ok {
-		h.mu.Unlock()
-		return oc, nil
-	}
-	addr, ok := h.addrs[to]
-	h.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("transport: unknown peer %v", to)
-	}
-	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
-	if err != nil {
-		return nil, err
-	}
-	oc := &outConn{c: c, enc: gob.NewEncoder(c)}
-	h.mu.Lock()
-	if existing, ok := h.conns[to]; ok {
-		h.mu.Unlock()
-		_ = c.Close()
-		return existing, nil
-	}
-	h.conns[to] = oc
-	h.mu.Unlock()
-	return oc, nil
-}
-
-func (h *Host) dropConn(to node.ID, oc *outConn) {
-	h.mu.Lock()
-	if h.conns[to] == oc {
-		delete(h.conns, to)
-	}
-	h.mu.Unlock()
-	_ = oc.c.Close()
 }
 
 func (h *Host) logf(format string, args ...any) {
 	if h.cfg.Logger != nil {
 		h.cfg.Logger.Printf(format, args...)
 	}
+}
+
+// peerSender owns everything about one peer's outbound path: the
+// bounded queue the driver appends to, and the writer goroutine that
+// dials, encodes (DDN1), and flushes. The lock covers only the queue
+// and lifecycle flags — never a socket write — so enqueue is O(1) for
+// the driver no matter what the network is doing.
+type peerSender struct {
+	h    *Host
+	id   node.ID
+	addr string
+
+	mu     sync.Mutex
+	cond   sync.Cond
+	queue  []any
+	busy   bool // writer is encoding/writing a taken batch
+	closed bool
+	conn   net.Conn // under mu so stop() can unblock a stalled write
+
+	// Writer-goroutine-owned state.
+	bw       *bufio.Writer
+	scratch  []byte
+	nextDial time.Time
+}
+
+func newPeerSender(h *Host, id node.ID, addr string) *peerSender {
+	ps := &peerSender{h: h, id: id, addr: addr}
+	ps.cond.L = &ps.mu
+	return ps
+}
+
+// enqueue appends one message for the writer; it reports false when the
+// queue is full or the sender is stopped (the message is shed).
+func (ps *peerSender) enqueue(msg any) bool {
+	ps.mu.Lock()
+	if ps.closed || len(ps.queue) >= ps.h.cfg.PeerQueueDepth {
+		ps.mu.Unlock()
+		return false
+	}
+	ps.queue = append(ps.queue, msg)
+	ps.mu.Unlock()
+	ps.cond.Broadcast()
+	return true
+}
+
+// waitDrain blocks until the writer has consumed and written everything
+// enqueued so far (or the sender stopped). Only used with BlockingSend.
+func (ps *peerSender) waitDrain() {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for (len(ps.queue) > 0 || ps.busy) && !ps.closed {
+		ps.cond.Wait()
+	}
+}
+
+// stop closes the sender; a writer stalled inside a socket write is
+// unblocked by the connection close.
+func (ps *peerSender) stop() {
+	ps.mu.Lock()
+	ps.closed = true
+	c := ps.conn
+	ps.conn = nil
+	ps.mu.Unlock()
+	if c != nil {
+		_ = c.Close()
+	}
+	ps.cond.Broadcast()
+}
+
+func (ps *peerSender) writeLoop() {
+	defer ps.h.wg.Done()
+	var spare []any
+	for {
+		batch, ok := ps.take(spare)
+		if !ok {
+			return
+		}
+		ps.writeBatch(batch)
+		for i := range batch {
+			batch[i] = nil // release references; the batch buffer is recycled
+		}
+		spare = batch[:0]
+	}
+}
+
+// take blocks until messages are queued, then claims the whole queue by
+// buffer swap (the recycled spare becomes the new queue).
+func (ps *peerSender) take(spare []any) ([]any, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.busy = false
+	if len(ps.queue) == 0 {
+		ps.cond.Broadcast() // wake waitDrain: fully drained
+	}
+	for len(ps.queue) == 0 && !ps.closed {
+		ps.cond.Wait()
+	}
+	if len(ps.queue) == 0 {
+		return nil, false
+	}
+	batch := ps.queue
+	ps.queue = spare
+	ps.busy = true
+	return batch, true
+}
+
+// writeBatch encodes and writes one claimed batch, flushing only if the
+// queue is empty afterwards (more queued means another batch follows
+// immediately and will share the flush).
+func (ps *peerSender) writeBatch(batch []any) {
+	if !ps.ensureConn() {
+		ps.h.Dropped.Add(int64(len(batch)))
+		return
+	}
+	c := ps.connRef()
+	if c == nil { // stop() raced us; the batch is shed
+		ps.h.Dropped.Add(int64(len(batch)))
+		return
+	}
+	_ = c.SetWriteDeadline(time.Now().Add(ps.h.cfg.WriteTimeout))
+	for i, msg := range batch {
+		body, ok := appendMessage(ps.scratch[:0], msg)
+		if !ok {
+			var err error
+			body, err = encodeGobFrame(ps.scratch[:0], msg)
+			if err != nil {
+				ps.h.logf("peer %v: encode %T: %v", ps.id, msg, err)
+				ps.h.Dropped.Inc()
+				continue
+			}
+		}
+		if cap(body) > cap(ps.scratch) {
+			ps.scratch = body
+		}
+		if err := wire.WriteNodeFrame(ps.bw, body); err != nil {
+			ps.h.Dropped.Add(int64(len(batch) - i))
+			ps.dropConn()
+			return
+		}
+		ps.h.Sent.Inc()
+	}
+	ps.mu.Lock()
+	drained := len(ps.queue) == 0
+	ps.mu.Unlock()
+	if drained {
+		if err := ps.bw.Flush(); err != nil {
+			ps.dropConn()
+		}
+	}
+}
+
+// ensureConn makes sure a dialed connection with a written preamble is
+// ready, honouring the redial backoff so a dead peer costs one dial
+// attempt per backoff window, not per batch.
+func (ps *peerSender) ensureConn() bool {
+	if ps.connRef() != nil {
+		return true
+	}
+	if !ps.nextDial.IsZero() && time.Now().Before(ps.nextDial) {
+		return false
+	}
+	c, err := net.DialTimeout("tcp", ps.addr, dialTimeout)
+	if err != nil {
+		ps.h.logf("peer %v: dial: %v", ps.id, err)
+		ps.nextDial = time.Now().Add(redialBackoff)
+		return false
+	}
+	bw := bufio.NewWriterSize(c, connBufSize)
+	if err := wire.WriteNodePreamble(bw, uint64(ps.h.cfg.Self)); err != nil {
+		_ = c.Close()
+		ps.nextDial = time.Now().Add(redialBackoff)
+		return false
+	}
+	ps.mu.Lock()
+	if ps.closed {
+		ps.mu.Unlock()
+		_ = c.Close()
+		return false
+	}
+	ps.conn = c
+	ps.mu.Unlock()
+	ps.bw = bw
+	ps.nextDial = time.Time{}
+	return true
+}
+
+func (ps *peerSender) connRef() net.Conn {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.conn
+}
+
+// dropConn discards the current connection after a write failure; the
+// next batch re-dials (post-backoff).
+func (ps *peerSender) dropConn() {
+	ps.mu.Lock()
+	c := ps.conn
+	ps.conn = nil
+	ps.mu.Unlock()
+	if c != nil {
+		_ = c.Close()
+	}
+	ps.bw = nil
+	ps.nextDial = time.Now().Add(redialBackoff)
 }

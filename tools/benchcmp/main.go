@@ -13,9 +13,12 @@
 //     beyond the threshold) are compared — the dependability envelope
 //     rather than throughput.
 //   - serve: rows match by conns; ops_per_sec is compared against the
-//     threshold (same-host reports only, like simscale), and dropped
-//     responses > 0 are a regression on any host — the pipelined
-//     protocol's zero-loss contract is not hardware-dependent.
+//     threshold and the put/get p99.9 tails against double the threshold
+//     (same-host reports only, like simscale). Dropped responses > 0 and
+//     timeouts regressing from a zero baseline are regressions on any
+//     host — the pipelined protocol's zero-loss contract is not
+//     hardware-dependent, and the timeout warning carries the
+//     per-op-kind (put/get) breakdown.
 //
 // Rows without a counterpart in the baseline are skipped (the committed
 // baselines mix full-scale and CI-scale measurements — only the
@@ -54,6 +57,12 @@ type row struct {
 	Conns     int     `json:"conns"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	Dropped   int64   `json:"dropped"`
+
+	Timeouts    int64   `json:"timeouts"`
+	PutTimeouts int64   `json:"put_timeouts"`
+	GetTimeouts int64   `json:"get_timeouts"`
+	PutP999Ms   float64 `json:"put_p999_ms"`
+	GetP999Ms   float64 `json:"get_p999_ms"`
 }
 
 // repairCost is the repair_cost section of a simscale (or standalone
@@ -226,9 +235,10 @@ func compareRepairCost(baseline, current *report, threshold float64) (compared, 
 	return compared, regressions
 }
 
-// compareServe diffs serve rows by connection count. ops/sec is only
-// compared between same-host reports; the dropped-responses check is
-// count-based and applies on any host.
+// compareServe diffs serve rows by connection count. ops/sec and the
+// tail latencies (p99.9) are only compared between same-host reports;
+// the dropped-responses check and the per-op-kind timeout comparison
+// are count-based and apply on any host.
 func compareServe(baseline, current *report, threshold float64, compareSpeed bool) (compared, regressions int) {
 	base := make(map[int]row, len(baseline.Results))
 	for _, r := range baseline.Results {
@@ -247,6 +257,15 @@ func compareServe(baseline, current *report, threshold float64, compareSpeed boo
 			fmt.Printf("::warning title=bench regression::serve conns=%d: %d dropped responses (zero-loss contract)\n",
 				cur.Conns, cur.Dropped)
 		}
+		// Timeouts regressing from zero is a correctness-adjacent signal
+		// on any host: the baseline answered every op within the deadline
+		// at this concurrency. The per-kind split names the failing path.
+		if cur.Timeouts > 0 && ref.Timeouts == 0 {
+			status = "REGRESSION"
+			regressions++
+			fmt.Printf("::warning title=bench regression::serve conns=%d: %d timeouts (put=%d get=%d) vs baseline 0\n",
+				cur.Conns, cur.Timeouts, cur.PutTimeouts, cur.GetTimeouts)
+		}
 		change := 0.0
 		if compareSpeed && ref.OpsPerSec > 0 {
 			change = (cur.OpsPerSec/ref.OpsPerSec - 1) * 100
@@ -257,8 +276,31 @@ func compareServe(baseline, current *report, threshold float64, compareSpeed boo
 					cur.Conns, cur.OpsPerSec, ref.OpsPerSec, change)
 			}
 		}
-		fmt.Printf("conns=%-6d %10.0f ops/sec  baseline %10.0f  %+7.1f%%  dropped %d  %s\n",
-			cur.Conns, cur.OpsPerSec, ref.OpsPerSec, change, cur.Dropped, status)
+		if compareSpeed {
+			// Tail latency gets double the throughput threshold: p99.9 is
+			// a handful of samples per trial and noisier than the mean.
+			for _, tail := range []struct {
+				name      string
+				cur, refV float64
+			}{
+				{"put p99.9", cur.PutP999Ms, ref.PutP999Ms},
+				{"get p99.9", cur.GetP999Ms, ref.GetP999Ms},
+			} {
+				if tail.refV <= 0 {
+					continue // baseline predates the field
+				}
+				tailChange := (tail.cur/tail.refV - 1) * 100
+				if tailChange >= 2*threshold {
+					status = "REGRESSION"
+					regressions++
+					fmt.Printf("::warning title=bench regression::serve conns=%d: %s %.2fms vs baseline %.2fms (%+.1f%%)\n",
+						cur.Conns, tail.name, tail.cur, tail.refV, tailChange)
+				}
+			}
+		}
+		fmt.Printf("conns=%-6d %10.0f ops/sec  baseline %10.0f  %+7.1f%%  dropped %d  timeouts %d (put %d / get %d)  p999 put %.2fms get %.2fms  %s\n",
+			cur.Conns, cur.OpsPerSec, ref.OpsPerSec, change, cur.Dropped,
+			cur.Timeouts, cur.PutTimeouts, cur.GetTimeouts, cur.PutP999Ms, cur.GetP999Ms, status)
 	}
 	return compared, regressions
 }
